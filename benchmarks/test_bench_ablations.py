@@ -1,0 +1,65 @@
+"""Benchmarks: ablation studies for CMP-NuRAPID design choices."""
+
+from repro.experiments import ablations
+
+
+def test_bench_ablation_promotion(benchmark, bench_config):
+    result = benchmark.pedantic(
+        ablations.run_promotion, args=(bench_config,), rounds=1, iterations=1
+    )
+    fastest = result.raw["fastest"]
+    next_fastest = result.raw["next-fastest"]
+    # Shape: fastest keeps at least as many accesses in the closest
+    # d-group as next-fastest (Section 3.3.1's CMP argument).
+    assert (
+        fastest.dgroups.distribution()["closest"]
+        >= next_fastest.dgroups.distribution()["closest"] - 0.02
+    )
+    print()
+    print(result.report.render())
+
+
+def test_bench_ablation_tag_capacity(benchmark, bench_config):
+    result = benchmark.pedantic(
+        ablations.run_tag_capacity, args=(bench_config,), rounds=1, iterations=1
+    )
+    one, two, four = (result.raw[k] for k in ("1x", "2x", "4x"))
+    # Shape: more tag capacity never hurts the miss rate…
+    assert two.accesses.miss_rate <= one.accesses.miss_rate + 0.01
+    # …and 2x captures most of 4x's benefit (Section 2.2.2).
+    assert abs(two.accesses.miss_rate - four.accesses.miss_rate) < 0.5 * max(
+        one.accesses.miss_rate - four.accesses.miss_rate, 0.002
+    ) + 0.01
+    print()
+    print(result.report.render())
+
+
+def test_bench_ablation_replication_use(benchmark, bench_config):
+    result = benchmark.pedantic(
+        ablations.run_replication_use, args=(bench_config,), rounds=1, iterations=1
+    )
+    print()
+    print(result.report.render())
+
+
+def test_bench_ablation_ranking(benchmark, bench_config):
+    result = benchmark.pedantic(
+        ablations.run_ranking, args=(bench_config,), rounds=1, iterations=1
+    )
+    print()
+    print(result.report.render())
+
+
+def test_bench_ablation_update_protocol(benchmark, bench_config):
+    result = benchmark.pedantic(
+        ablations.run_update_protocol, args=(bench_config,), rounds=1, iterations=1
+    )
+    nurapid = result.raw["cmp-nurapid"]
+    update = result.raw["private-update"]
+    # Shape: the update protocol floods the bus relative to ISC
+    # (a data broadcast on every shared write).
+    nurapid_rate = nurapid.bus.total / max(nurapid.total_instructions, 1)
+    update_rate = update.bus.total / max(update.total_instructions, 1)
+    assert update_rate > nurapid_rate
+    print()
+    print(result.report.render())

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table 1 (cache and bus latencies)."""
+
+from repro.experiments import table1_latencies
+
+
+def test_bench_table1(benchmark):
+    result = benchmark(table1_latencies.run)
+    # Shape: the derivation lands within 2 cycles of every published row.
+    table1_latencies.check_derivation(tolerance_cycles=2)
+    derived = result.derived
+    # Shape: private << SNUCA-ish d-groups << shared, as in the paper.
+    assert derived["private_total"] < derived["shared_total"]
+    assert derived["dgroup_closest"] < derived["dgroup_mid"] <= derived["dgroup_farthest"]
+    print()
+    print(result.report.render())

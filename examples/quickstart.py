@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Quickstart: compare all five L2 designs on one workload.
+
+Runs the paper's five cache organizations (uniform-shared, CMP-SNUCA,
+private MESI, ideal, and CMP-NuRAPID) on the synthetic OLTP workload
+and prints each design's access mix and performance relative to the
+uniform-shared baseline — a miniature of the paper's Figure 10.
+
+Usage::
+
+    python examples/quickstart.py [accesses_per_core]
+
+The default trace is short so the script finishes in under a minute;
+expect the relative numbers to sharpen with longer traces.
+"""
+
+import itertools
+import sys
+
+from repro import CmpSystem, MissClass, make_workload
+from repro.experiments import DESIGN_FACTORIES, format_table
+
+
+def run_design(name, accesses_per_core):
+    """Warm up and measure one design; return its stats."""
+    design = DESIGN_FACTORIES[name]()
+    system = CmpSystem(design)
+    workload = make_workload("oltp")
+    events = workload.events(accesses_per_core=2 * accesses_per_core)
+    system.run(itertools.islice(events, accesses_per_core * workload.num_cores))
+    system.reset_stats()
+    system.run(events)
+    return system.stats()
+
+
+def main():
+    accesses_per_core = int(sys.argv[1]) if len(sys.argv) > 1 else 60_000
+    names = [
+        "uniform-shared",
+        "non-uniform-shared",
+        "private",
+        "ideal",
+        "cmp-nurapid",
+    ]
+    rows = []
+    baseline = None
+    for name in names:
+        stats = run_design(name, accesses_per_core)
+        if baseline is None:
+            baseline = stats.throughput
+        acc = stats.accesses
+        rows.append(
+            [
+                name,
+                f"{100 * acc.fraction(MissClass.HIT):.1f}%",
+                f"{100 * acc.fraction(MissClass.ROS):.1f}%",
+                f"{100 * acc.fraction(MissClass.RWS):.1f}%",
+                f"{100 * acc.fraction(MissClass.CAPACITY):.1f}%",
+                f"{stats.throughput / baseline:.3f}",
+            ]
+        )
+    print("OLTP workload, 4-core CMP, 8 MB L2 budget")
+    print()
+    print(
+        format_table(
+            ["design", "hits", "ROS", "RWS", "capacity", "rel. perf"], rows
+        )
+    )
+    print()
+    print(
+        "Expected shape (paper Figure 10): cmp-nurapid beats both the "
+        "shared and private baselines; ideal is the upper bound."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Drive the simulators from a trace file.
+
+Real evaluations replay traces captured from full-system simulators or
+binary instrumentation.  This example writes a synthetic trace to disk
+in the repo's one-line-per-event format, reads it back, and replays the
+identical stream through two L2 designs — the workflow a user with
+their own Simics/gem5/Pin traces would follow (convert to
+``core address(hex) R|W [gap] [colocated]`` lines and go).
+
+Usage::
+
+    python examples/trace_driven.py [trace_path] [accesses_per_core]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import CmpSystem, NurapidCache, SharedCache, make_workload
+from repro.experiments import format_table
+from repro.workloads import tracefile
+
+
+def replay(design, path):
+    system = CmpSystem(design)
+    system.run(tracefile.read_trace(path))
+    return system.stats()
+
+
+def main():
+    path = Path(sys.argv[1]) if len(sys.argv) > 1 else None
+    accesses_per_core = int(sys.argv[2]) if len(sys.argv) > 2 else 30_000
+
+    if path is None:
+        path = Path(tempfile.gettempdir()) / "repro_example_trace.txt"
+
+    workload = make_workload("specjbb")
+    count = tracefile.write_trace(
+        workload.events(accesses_per_core=accesses_per_core), path
+    )
+    size_kb = path.stat().st_size // 1024
+    print(f"wrote {count} events ({size_kb} KiB) to {path}")
+    print()
+
+    rows = []
+    baseline = None
+    for design in (SharedCache(), NurapidCache()):
+        stats = replay(design, path)
+        if baseline is None:
+            baseline = stats.throughput
+        rows.append(
+            [
+                design.name,
+                f"{100 * stats.accesses.miss_rate:.1f}%",
+                f"{stats.throughput / baseline:.3f}",
+            ]
+        )
+    print(format_table(["design", "L2 miss rate", "rel. perf"], rows))
+    print()
+    print(
+        "Both designs replayed the byte-identical stream from disk — "
+        "swap in your own trace file to evaluate real workloads."
+    )
+
+
+if __name__ == "__main__":
+    main()

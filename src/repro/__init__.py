@@ -1,0 +1,80 @@
+"""CMP-NuRAPID reproduction.
+
+Reproduction of "Optimizing Replication, Communication, and Capacity
+Allocation in CMPs" (Chishti, Powell, Vijaykumar - ISCA 2005): the
+CMP-NuRAPID hybrid cache with controlled replication, in-situ
+communication, and capacity stealing, plus the uniform-shared,
+private-MESI, CMP-SNUCA, and ideal baselines and the workload models
+used to evaluate them.
+
+Quickstart::
+
+    from repro import NurapidCache, make_workload, run_workload
+
+    design = NurapidCache()
+    workload = make_workload("oltp")
+    stats = run_workload(design, workload.events(accesses_per_core=50_000))
+    print(stats.accesses.miss_rate, stats.throughput)
+"""
+
+from repro.caches import (
+    IdealCache,
+    L1Cache,
+    L2Design,
+    PrivateCaches,
+    SharedCache,
+    SnucaCache,
+)
+from repro.common import (
+    Access,
+    AccessResult,
+    AccessType,
+    MissClass,
+    NurapidParams,
+    SharingClass,
+    SimulationStats,
+    SystemParams,
+)
+from repro.core import NurapidCache
+from repro.cpu import CmpSystem, TimedAccess, run_workload
+from repro.workloads import (
+    COMMERCIAL,
+    MIXES,
+    MULTITHREADED,
+    SCIENTIFIC,
+    MultiprogrammedWorkload,
+    SyntheticWorkload,
+    make_mix,
+    make_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Access",
+    "AccessResult",
+    "AccessType",
+    "CmpSystem",
+    "COMMERCIAL",
+    "IdealCache",
+    "L1Cache",
+    "L2Design",
+    "MIXES",
+    "MULTITHREADED",
+    "MissClass",
+    "MultiprogrammedWorkload",
+    "NurapidCache",
+    "NurapidParams",
+    "PrivateCaches",
+    "SCIENTIFIC",
+    "SharedCache",
+    "SharingClass",
+    "SimulationStats",
+    "SnucaCache",
+    "SyntheticWorkload",
+    "SystemParams",
+    "TimedAccess",
+    "make_mix",
+    "make_workload",
+    "run_workload",
+]

@@ -1,0 +1,24 @@
+"""Cache models: L1, baseline L2 designs, and the common design API."""
+
+from repro.caches.base import Entry, EvictionRecord, SetAssociativeArray
+from repro.caches.design import L2Design
+from repro.caches.ideal import IdealCache
+from repro.caches.l1 import L1Cache, L1Entry, L1Stats
+from repro.caches.private import PrivateCaches, UpdateProtocolCaches
+from repro.caches.shared import SharedCache
+from repro.caches.snuca import SnucaCache
+
+__all__ = [
+    "Entry",
+    "EvictionRecord",
+    "IdealCache",
+    "L1Cache",
+    "L1Entry",
+    "L1Stats",
+    "L2Design",
+    "PrivateCaches",
+    "SetAssociativeArray",
+    "SharedCache",
+    "SnucaCache",
+    "UpdateProtocolCaches",
+]

@@ -1,0 +1,168 @@
+"""Generic set-associative array with pluggable entries and victim policy.
+
+Every tag structure in the repo — L1s, the uniform-shared L2, private
+L2s, SNUCA banks, and CMP-NuRAPID's private tag arrays — is built on
+this array.  Entries carry coherence state and per-design payload;
+replacement is LRU by default with an optional category ordering (CMP-
+NuRAPID prefers to replace invalid, then private, then shared entries;
+Section 3.3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+from repro.coherence.states import CoherenceState
+from repro.common.params import CacheGeometry
+
+
+@dataclass
+class Entry:
+    """One tag entry.
+
+    Attributes:
+        tag: address tag (valid only when ``state`` is valid).
+        state: coherence state; ``INVALID`` marks a free entry.
+        lru: monotonic last-use stamp (bigger = more recent).
+        dirty: dirty bit for designs without an M state (L1, shared L2).
+        fill_class: miss class of the fill that brought the block in
+            (used for the Figure 7 reuse histograms).
+        reuse: number of hits since the last fill.
+    """
+
+    tag: int = 0
+    state: CoherenceState = CoherenceState.INVALID
+    lru: int = 0
+    dirty: bool = False
+    fill_class: "Optional[object]" = None
+    reuse: int = 0
+
+    @property
+    def valid(self) -> bool:
+        return self.state.is_valid
+
+    def invalidate(self) -> None:
+        self.state = CoherenceState.INVALID
+        self.dirty = False
+        self.fill_class = None
+        self.reuse = 0
+
+
+class SetAssociativeArray:
+    """Set-associative array of :class:`Entry` (or a subclass).
+
+    Args:
+        geometry: size/shape of the array.
+        entry_factory: constructor for entries, letting designs attach
+            extra payload (e.g. CMP-NuRAPID's forward pointers).
+    """
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        entry_factory: "Callable[[], Entry]" = Entry,
+    ) -> None:
+        self.geometry = geometry
+        self._sets: "list[list[Entry]]" = [
+            [entry_factory() for _ in range(geometry.associativity)]
+            for _ in range(geometry.num_sets)
+        ]
+        self._clock = 0
+        # Hot-path constants (geometry properties recompute logs).
+        self._offset_bits = geometry.offset_bits
+        self._index_mask = geometry.num_sets - 1
+        self._tag_shift = geometry.offset_bits + geometry.index_bits
+
+    def _tick(self) -> int:
+        self._clock += 1
+        return self._clock
+
+    def set_of(self, address: int) -> "list[Entry]":
+        return self._sets[(address >> self._offset_bits) & self._index_mask]
+
+    def lookup(self, address: int, touch: bool = True) -> "Optional[Entry]":
+        """Return the valid entry matching ``address``, updating LRU."""
+        tag = address >> self._tag_shift
+        invalid = CoherenceState.INVALID
+        for entry in self._sets[(address >> self._offset_bits) & self._index_mask]:
+            if entry.tag == tag and entry.state is not invalid:
+                if touch:
+                    self._clock += 1
+                    entry.lru = self._clock
+                return entry
+        return None
+
+    def touch(self, entry: Entry) -> None:
+        entry.lru = self._tick()
+
+    def victim(
+        self,
+        address: int,
+        category: "Optional[Callable[[Entry], int]]" = None,
+    ) -> Entry:
+        """Pick the replacement victim in ``address``'s set.
+
+        An invalid entry is always chosen first.  Otherwise the entry
+        minimizing ``(category(entry), lru)`` is chosen — plain LRU when
+        ``category`` is None.
+        """
+        entries = self.set_of(address)
+        for entry in entries:
+            if not entry.valid:
+                return entry
+        if category is None:
+            return min(entries, key=lambda e: e.lru)
+        return min(entries, key=lambda e: (category(e), e.lru))
+
+    def install(self, entry: Entry, address: int, state: CoherenceState) -> None:
+        """(Re)fill ``entry`` with ``address``'s block in ``state``."""
+        entry.tag = self.geometry.tag(address)
+        entry.state = state
+        entry.dirty = False
+        entry.reuse = 0
+        entry.fill_class = None
+        entry.lru = self._tick()
+
+    def entries(self) -> "Iterator[tuple[int, int, Entry]]":
+        """Yield ``(set_index, way, entry)`` for every entry."""
+        for set_index, entries in enumerate(self._sets):
+            for way, entry in enumerate(entries):
+                yield set_index, way, entry
+
+    def valid_entries(self) -> "Iterator[tuple[int, int, Entry]]":
+        for set_index, way, entry in self.entries():
+            if entry.valid:
+                yield set_index, way, entry
+
+    def entry_at(self, set_index: int, way: int) -> Entry:
+        return self._sets[set_index][way]
+
+    def way_of(self, set_index: int, entry: Entry) -> int:
+        for way, candidate in enumerate(self._sets[set_index]):
+            if candidate is entry:
+                return way
+        raise ValueError("entry not in set")
+
+    def block_address(self, set_index: int, entry: Entry) -> int:
+        """Reconstruct the block address stored in ``entry``."""
+        geo = self.geometry
+        return (entry.tag << (geo.offset_bits + geo.index_bits)) | (
+            set_index << geo.offset_bits
+        )
+
+    @property
+    def occupancy(self) -> int:
+        return sum(1 for _ in self.valid_entries())
+
+
+@dataclass
+class EvictionRecord:
+    """What :meth:`SetAssociativeArray.install` displaced (for stats)."""
+
+    address: int
+    state: CoherenceState
+    dirty: bool
+    fill_class: "Optional[object]" = None
+    reuse: int = 0
+    payload: "Optional[Entry]" = field(default=None, repr=False)

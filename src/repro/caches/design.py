@@ -1,0 +1,68 @@
+"""Common interface implemented by every L2 design under study."""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Optional
+
+from repro.common.stats import AccessStats
+from repro.common.types import Access, AccessResult, block_address
+
+#: Callback invalidating core ``core``'s L1 blocks covered by an evicted
+#: or invalidated L2 block: ``hook(core, l2_block_address)``.
+L1InvalidateHook = Callable[[int, int], None]
+
+
+class L2Design(abc.ABC):
+    """One lowest-level on-chip cache organization.
+
+    Subclasses implement :meth:`_access`, which classifies the access,
+    updates internal state, and returns its latency; this base class
+    handles block alignment, statistics, and the L1-inclusion hook.
+    """
+
+    #: Human-readable design name used in reports.
+    name: str = "l2"
+
+    def __init__(self, block_size: int) -> None:
+        self.block_size = block_size
+        self.stats = AccessStats()
+        self._l1_invalidate: "Optional[L1InvalidateHook]" = None
+        #: Issuing core's cycle count for the current access — a
+        #: virtual clock for optional contention models.
+        self.current_time = 0
+
+    def reset_stats(self) -> None:
+        """Clear access statistics (e.g. after a warm-up phase).
+
+        Subclasses with extra statistics containers extend this.
+        """
+        self.stats = AccessStats()
+
+    def set_l1_invalidate_hook(self, hook: L1InvalidateHook) -> None:
+        """Register the system's L1-inclusion invalidation callback."""
+        self._l1_invalidate = hook
+
+    def _invalidate_l1(self, core: int, address: int) -> None:
+        if self._l1_invalidate is not None:
+            self._l1_invalidate(core, block_address(address, self.block_size))
+
+    def _invalidate_all_l1(self, address: int, num_cores: int, except_core: int = -1) -> None:
+        for core in range(num_cores):
+            if core != except_core:
+                self._invalidate_l1(core, address)
+
+    def access(self, access: Access, now: int = 0) -> AccessResult:
+        """Present one (L1-missing) access to the design.
+
+        ``now`` is the issuing core's cycle count; designs with
+        contention models use it as a virtual clock.
+        """
+        self.current_time = now
+        result = self._access(access)
+        self.stats.record(result.miss_class)
+        return result
+
+    @abc.abstractmethod
+    def _access(self, access: Access) -> AccessResult:
+        """Design-specific access handling."""

@@ -1,0 +1,54 @@
+"""Ideal cache: shared capacity at private latency (Section 5.1.1).
+
+"The ideal cache is a shared cache with the same latency as that of
+each private cache" — the upper bound on what CMP-NuRAPID can achieve,
+combining the capacity advantage of sharing with the 10-cycle access of
+a small private cache.  Physically unrealizable; used for Figures 6
+and 10.
+"""
+
+from __future__ import annotations
+
+from repro.caches.base import SetAssociativeArray
+from repro.caches.design import L2Design
+from repro.coherence.states import CoherenceState
+from repro.common.params import DEFAULT_NUM_CORES, MEMORY_LATENCY, IdealCacheParams
+from repro.common.types import Access, AccessResult, MissClass
+
+
+class IdealCache(L2Design):
+    """8 MB shared array accessed at the private cache's 10 cycles."""
+
+    name = "ideal"
+
+    def __init__(
+        self,
+        params: "IdealCacheParams | None" = None,
+        num_cores: int = DEFAULT_NUM_CORES,
+        memory_latency: int = MEMORY_LATENCY,
+    ) -> None:
+        self.params = params or IdealCacheParams()
+        super().__init__(self.params.geometry.block_size)
+        self.num_cores = num_cores
+        self.memory_latency = memory_latency
+        self.array = SetAssociativeArray(self.params.geometry)
+
+    def _access(self, access: Access) -> AccessResult:
+        entry = self.array.lookup(access.address)
+        if entry is not None:
+            entry.reuse += 1
+            if access.is_write:
+                entry.dirty = True
+            return AccessResult(MissClass.HIT, self.params.hit_latency)
+
+        victim = self.array.victim(access.address)
+        if victim.valid:
+            evicted = self.array.block_address(
+                self.params.geometry.set_index(access.address), victim
+            )
+            self._invalidate_all_l1(evicted, self.num_cores)
+        self.array.install(victim, access.address, CoherenceState.EXCLUSIVE)
+        victim.dirty = access.is_write
+        return AccessResult(
+            MissClass.CAPACITY, self.params.hit_latency + self.memory_latency
+        )

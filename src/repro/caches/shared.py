@@ -1,0 +1,57 @@
+"""Uniform-shared L2 baseline (Section 4.2's "uniform-shared cache").
+
+A single 8 MB, 32-way array with 128 B blocks shared by all cores.  One
+copy per block means no replication waste and no L2-level coherence
+misses: the access mix contains only hits and capacity misses
+(Figure 5a).  The price is Table 1's 59-cycle access — the tag must be
+placed centrally, paying large RC wire delays.
+
+Writes by one core invalidate other cores' L1 copies (the system's
+L1-coherence layer); the L2 itself just tracks a dirty bit.
+"""
+
+from __future__ import annotations
+
+from repro.caches.base import SetAssociativeArray
+from repro.caches.design import L2Design
+from repro.coherence.states import CoherenceState
+from repro.common.params import DEFAULT_NUM_CORES, MEMORY_LATENCY, SharedCacheParams
+from repro.common.types import Access, AccessResult, MissClass
+
+
+class SharedCache(L2Design):
+    """8 MB 32-way uniform-shared L2."""
+
+    name = "uniform-shared"
+
+    def __init__(
+        self,
+        params: "SharedCacheParams | None" = None,
+        num_cores: int = DEFAULT_NUM_CORES,
+        memory_latency: int = MEMORY_LATENCY,
+    ) -> None:
+        self.params = params or SharedCacheParams()
+        super().__init__(self.params.geometry.block_size)
+        self.num_cores = num_cores
+        self.memory_latency = memory_latency
+        self.array = SetAssociativeArray(self.params.geometry)
+
+    def _access(self, access: Access) -> AccessResult:
+        entry = self.array.lookup(access.address)
+        hit_latency = self.params.hit_latency
+        if entry is not None:
+            entry.reuse += 1
+            if access.is_write:
+                entry.dirty = True
+            return AccessResult(MissClass.HIT, hit_latency)
+
+        victim = self.array.victim(access.address)
+        if victim.valid:
+            evicted = self.array.block_address(
+                self.params.geometry.set_index(access.address), victim
+            )
+            # Inclusion: the evicted block leaves every core's L1.
+            self._invalidate_all_l1(evicted, self.num_cores)
+        self.array.install(victim, access.address, CoherenceState.EXCLUSIVE)
+        victim.dirty = access.is_write
+        return AccessResult(MissClass.CAPACITY, hit_latency + self.memory_latency)

@@ -1,0 +1,87 @@
+"""CMP-SNUCA: the non-uniform *shared* cache baseline ([6], Section 4.2).
+
+The 8 MB array is statically interleaved across banks laid out in the
+middle of the die (similar to Piranha's banked cache).  A block lives in
+exactly one bank determined by its address, so there is no replication
+and no migration — [6] found realistic dynamic migration (CMP-DNUCA) to
+perform *worse*, so the paper compares against the static design.
+
+A core's access latency depends on how far the addressed bank is, via
+the :func:`repro.latency.tables.snuca_bank_latencies` matrix.  Like the
+uniform-shared cache, the access mix is hits plus capacity misses.
+"""
+
+from __future__ import annotations
+
+from repro.caches.base import SetAssociativeArray
+from repro.caches.design import L2Design
+from repro.coherence.states import CoherenceState
+from repro.common.params import DEFAULT_NUM_CORES, MEMORY_LATENCY, SnucaParams
+from repro.common.params import CacheGeometry
+from repro.common.types import Access, AccessResult, MissClass
+
+
+class SnucaCache(L2Design):
+    """Banked non-uniform shared L2 (CMP-SNUCA)."""
+
+    name = "non-uniform-shared"
+
+    def __init__(
+        self,
+        params: "SnucaParams | None" = None,
+        num_cores: int = DEFAULT_NUM_CORES,
+        memory_latency: int = MEMORY_LATENCY,
+    ) -> None:
+        self.params = params or SnucaParams()
+        super().__init__(self.params.geometry.block_size)
+        self.num_cores = num_cores
+        self.memory_latency = memory_latency
+        geo = self.params.geometry
+        bank_capacity = geo.capacity_bytes // self.params.num_banks
+        self._bank_geometry = CacheGeometry(
+            bank_capacity, geo.associativity, geo.block_size
+        )
+        self.banks = [
+            SetAssociativeArray(self._bank_geometry)
+            for _ in range(self.params.num_banks)
+        ]
+
+    def bank_of(self, address: int) -> int:
+        """Static address interleaving at block granularity."""
+        block = address >> self._bank_geometry.offset_bits
+        return block % self.params.num_banks
+
+    def _local_address(self, address: int) -> int:
+        """Strip the bank-selection bits so bank sets are not aliased."""
+        offset_bits = self._bank_geometry.offset_bits
+        block = address >> offset_bits
+        return (block // self.params.num_banks) << offset_bits
+
+    def _global_address(self, bank_index: int, local_address: int) -> int:
+        offset_bits = self._bank_geometry.offset_bits
+        local_block = local_address >> offset_bits
+        block = local_block * self.params.num_banks + bank_index
+        return block << offset_bits
+
+    def _access(self, access: Access) -> AccessResult:
+        bank_index = self.bank_of(access.address)
+        bank = self.banks[bank_index]
+        local = self._local_address(access.address)
+        latency = self.params.bank_latencies[access.core][bank_index]
+        entry = bank.lookup(local)
+        if entry is not None:
+            entry.reuse += 1
+            if access.is_write:
+                entry.dirty = True
+            return AccessResult(MissClass.HIT, latency)
+
+        victim = bank.victim(local)
+        if victim.valid:
+            evicted_local = bank.block_address(
+                self._bank_geometry.set_index(local), victim
+            )
+            evicted = self._global_address(bank_index, evicted_local)
+            self._invalidate_all_l1(evicted, self.num_cores)
+        bank.install(victim, local, CoherenceState.EXCLUSIVE)
+        victim.dirty = access.is_write
+        return AccessResult(MissClass.CAPACITY, latency + self.memory_latency)

@@ -1,0 +1,322 @@
+"""Command-line interface.
+
+Drives the library without writing Python::
+
+    python -m repro.cli compare --workload oltp
+    python -m repro.cli run --design cmp-nurapid --mix MIX1 --chart
+    python -m repro.cli experiment fig10 --quick
+    python -m repro.cli latency
+    python -m repro.cli trace generate --workload apache --out trace.txt
+    python -m repro.cli trace run trace.txt --design private
+
+Also installed as the ``repro-sim`` console script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import sys
+from typing import Iterable, Optional, Sequence
+
+from repro.common.rng import DEFAULT_SEED
+from repro.common.types import MissClass
+from repro.cpu.system import CmpSystem, TimedAccess
+from repro.experiments import ablations, energy_report, sensitivity, smp_contrast, suite
+from repro.experiments.charts import BarGroup, StackedBar, render_grouped_bars, render_stacked_bars
+from repro.experiments.report import format_table, pct
+from repro.experiments.runner import DESIGN_FACTORIES, ExperimentConfig, build_design
+from repro.latency import cacti, tables
+from repro.workloads import tracefile
+from repro.workloads.multiprogrammed import MIXES, make_mix
+from repro.workloads.multithreaded import MULTITHREADED, make_workload
+
+_WORKLOAD_NAMES = tuple(spec.name for spec in MULTITHREADED)
+
+
+def _workload_name(args) -> str:
+    """The selected workload/mix label (default: oltp)."""
+    return args.mix or args.workload or "oltp"
+
+
+def _make_events(args) -> "tuple[Iterable[TimedAccess], int, int]":
+    """Build the event stream; returns (events, warmup_events, cores)."""
+    total = args.warmup + args.accesses
+    if args.mix:
+        workload = make_mix(args.mix, seed=args.seed)
+    else:
+        workload = make_workload(args.workload or "oltp", seed=args.seed)
+    events = workload.events(accesses_per_core=total)
+    return events, args.warmup * workload.num_cores, workload.num_cores
+
+
+def _run_one(design_name: str, args):
+    design = build_design(design_name)
+    system = CmpSystem(design)
+    events, warmup_events, _ = _make_events(args)
+    iterator = iter(events)
+    if warmup_events:
+        system.run(itertools.islice(iterator, warmup_events))
+        system.reset_stats()
+    system.run(iterator)
+    return design, system.stats()
+
+
+def _stats_row(name: str, stats, baseline_throughput: "Optional[float]"):
+    acc = stats.accesses
+    rel = (
+        f"{stats.throughput / baseline_throughput:.3f}"
+        if baseline_throughput
+        else "1.000"
+    )
+    return [
+        name,
+        pct(acc.fraction(MissClass.HIT)),
+        pct(acc.fraction(MissClass.ROS)),
+        pct(acc.fraction(MissClass.RWS)),
+        pct(acc.fraction(MissClass.CAPACITY)),
+        rel,
+    ]
+
+
+def cmd_run(args) -> int:
+    design, stats = _run_one(args.design, args)
+    print(f"design: {args.design}")
+    print(f"workload: {_workload_name(args)}")
+    print()
+    print(
+        format_table(
+            ["design", "hits", "ROS", "RWS", "capacity", "rel. perf"],
+            [_stats_row(args.design, stats, None)],
+        )
+    )
+    print()
+    print(f"throughput (IPC proxy): {stats.throughput:.4f}")
+    print(f"aggregate per-core IPC: {stats.aggregate_ipc:.4f}")
+    dgroups = stats.dgroups
+    if dgroups.total:
+        dist = dgroups.distribution()
+        print(
+            "d-group accesses: "
+            f"closest {pct(dist['closest'])}, farther {pct(dist['farther'])}, "
+            f"miss {pct(dist['miss'])}"
+        )
+    if args.chart:
+        bar = StackedBar(
+            args.design,
+            {
+                "hit": stats.accesses.fraction(MissClass.HIT),
+                "ros": stats.accesses.fraction(MissClass.ROS),
+                "rws": stats.accesses.fraction(MissClass.RWS),
+                "capacity": stats.accesses.fraction(MissClass.CAPACITY),
+            },
+        )
+        print()
+        print(render_stacked_bars([bar], baseline=0.0))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    rows = []
+    chart_groups = {}
+    baseline = None
+    for name in args.designs:
+        _, stats = _run_one(name, args)
+        if baseline is None:
+            baseline = stats.throughput
+        rows.append(_stats_row(name, stats, baseline))
+        chart_groups[name] = stats.throughput / baseline if baseline else 0.0
+    print(f"workload: {_workload_name(args)}")
+    print()
+    print(
+        format_table(
+            ["design", "hits", "ROS", "RWS", "capacity", "rel. perf"], rows
+        )
+    )
+    if args.chart:
+        print()
+        print(
+            render_grouped_bars([BarGroup(_workload_name(args), chart_groups)])
+        )
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    config = ExperimentConfig.quick() if args.quick else ExperimentConfig()
+    name = args.name
+    if name == "all":
+        print(suite.run_suite(config).render())
+        return 0
+    if name == "energy":
+        print(energy_report.run(config).report.render())
+        return 0
+    if name == "smp-contrast":
+        print(smp_contrast.run(config).report.render())
+        return 0
+    if name in sensitivity.ALL_SENSITIVITIES:
+        print(sensitivity.ALL_SENSITIVITIES[name](config).report.render())
+        return 0
+    if name in ablations.ALL_ABLATIONS:
+        print(ablations.ALL_ABLATIONS[name](config).report.render())
+        return 0
+    if name in suite.EXPERIMENTS:
+        run_fn, render_full = suite.EXPERIMENTS[name]
+        result = run_fn() if name == "table1" else run_fn(config)
+        print(result.report.render())
+        if render_full is not None:
+            print()
+            print(render_full(result))
+        return 0
+    known = sorted(
+        set(suite.EXPERIMENTS)
+        | set(ablations.ALL_ABLATIONS)
+        | set(sensitivity.ALL_SENSITIVITIES)
+        | {"energy", "smp-contrast", "all"}
+    )
+    print(f"unknown experiment {name!r}; choose from: {', '.join(known)}", file=sys.stderr)
+    return 2
+
+
+def cmd_latency(args) -> int:
+    print(
+        format_table(
+            ["component", "Table 1 (cycles)"],
+            [(row.component, row.latency) for row in tables.table1_rows()],
+        )
+    )
+    print()
+    derived = cacti.derive_table1()
+    print(
+        format_table(
+            ["structure", "re-derived (cycles)"],
+            sorted(derived.items()),
+        )
+    )
+    return 0
+
+
+def cmd_trace_generate(args) -> int:
+    if args.mix:
+        workload = make_mix(args.mix, seed=args.seed)
+    else:
+        workload = make_workload(args.workload or "oltp", seed=args.seed)
+    events = workload.events(accesses_per_core=args.accesses)
+    count = tracefile.write_trace(events, args.out)
+    print(f"wrote {count} events to {args.out}")
+    return 0
+
+
+def cmd_trace_run(args) -> int:
+    design = build_design(args.design)
+    system = CmpSystem(design)
+    system.run(tracefile.read_trace(args.trace))
+    stats = system.stats()
+    print(
+        format_table(
+            ["design", "hits", "ROS", "RWS", "capacity", "rel. perf"],
+            [_stats_row(args.design, stats, None)],
+        )
+    )
+    print(f"throughput (IPC proxy): {stats.throughput:.4f}")
+    return 0
+
+
+def _add_workload_options(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group()
+    # No argparse default: subparser mutually-exclusive groups do not
+    # enforce exclusivity against defaulted members (CPython quirk);
+    # the default is resolved in _workload_name instead.
+    group.add_argument(
+        "--workload",
+        choices=_WORKLOAD_NAMES,
+        help="Table 3 multithreaded workload (default: oltp)",
+    )
+    group.add_argument(
+        "--mix", choices=sorted(MIXES), help="Table 2 multiprogrammed mix"
+    )
+    parser.add_argument(
+        "--accesses",
+        type=int,
+        default=60_000,
+        help="measured accesses per core (default: 60000)",
+    )
+    parser.add_argument(
+        "--warmup",
+        type=int,
+        default=60_000,
+        help="warm-up accesses per core (default: 60000)",
+    )
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description="CMP-NuRAPID reproduction (ISCA 2005) simulator CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run one design on one workload")
+    run_parser.add_argument(
+        "--design", choices=sorted(DESIGN_FACTORIES), default="cmp-nurapid"
+    )
+    _add_workload_options(run_parser)
+    run_parser.add_argument("--chart", action="store_true")
+    run_parser.set_defaults(func=cmd_run)
+
+    compare_parser = sub.add_parser(
+        "compare", help="run several designs on one workload"
+    )
+    compare_parser.add_argument(
+        "--designs",
+        nargs="+",
+        choices=sorted(DESIGN_FACTORIES),
+        default=[
+            "uniform-shared",
+            "non-uniform-shared",
+            "private",
+            "ideal",
+            "cmp-nurapid",
+        ],
+    )
+    _add_workload_options(compare_parser)
+    compare_parser.add_argument("--chart", action="store_true")
+    compare_parser.set_defaults(func=cmd_compare)
+
+    experiment_parser = sub.add_parser(
+        "experiment", help="reproduce a table/figure/ablation"
+    )
+    experiment_parser.add_argument(
+        "name",
+        help="table1, fig5..fig12, an ablation name, 'energy', or 'all'",
+    )
+    experiment_parser.add_argument("--quick", action="store_true")
+    experiment_parser.set_defaults(func=cmd_experiment)
+
+    latency_parser = sub.add_parser("latency", help="print Table 1 latencies")
+    latency_parser.set_defaults(func=cmd_latency)
+
+    trace_parser = sub.add_parser("trace", help="trace-file utilities")
+    trace_sub = trace_parser.add_subparsers(dest="trace_command", required=True)
+    generate = trace_sub.add_parser("generate", help="write a synthetic trace")
+    _add_workload_options(generate)
+    generate.add_argument("--out", required=True)
+    generate.set_defaults(func=cmd_trace_generate)
+    run_trace = trace_sub.add_parser("run", help="run a trace file")
+    run_trace.add_argument("trace")
+    run_trace.add_argument(
+        "--design", choices=sorted(DESIGN_FACTORIES), default="cmp-nurapid"
+    )
+    run_trace.set_defaults(func=cmd_trace_run)
+
+    return parser
+
+
+def main(argv: "Optional[Sequence[str]]" = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

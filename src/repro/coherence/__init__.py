@@ -1,0 +1,17 @@
+"""Cache coherence protocols: MESI (Figure 4a) and MESIC (Figure 4b)."""
+
+from repro.coherence import mesi, mesic
+from repro.coherence.mesic import DataAction, GlobalStateChecker, MesicAction, MesicSnoopAction
+from repro.coherence.states import MESI_STATES, MESIC_STATES, CoherenceState
+
+__all__ = [
+    "MESIC_STATES",
+    "MESI_STATES",
+    "CoherenceState",
+    "DataAction",
+    "GlobalStateChecker",
+    "MesicAction",
+    "MesicSnoopAction",
+    "mesi",
+    "mesic",
+]

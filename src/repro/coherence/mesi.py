@@ -1,0 +1,104 @@
+"""Table-driven MESI protocol engine (Figure 4a).
+
+The engine answers two questions for a cache controller:
+
+* :func:`processor_read` / :func:`processor_write` — given the local
+  state and the bus signals observed on a miss, what is the new state
+  and which bus transaction (if any) must be issued?
+* :func:`snoop` — given the local state and an observed bus
+  transaction, what is the new state and must the block be flushed
+  (sourced) onto the bus?
+
+Each solid arc of Figure 4a corresponds to one entry in the processor
+tables; each dotted arc to one entry in the snoop table.  The unit tests
+walk the figure arc-by-arc.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.coherence.states import CoherenceState
+from repro.interconnect.bus import BusOp
+
+M = CoherenceState.MODIFIED
+E = CoherenceState.EXCLUSIVE
+S = CoherenceState.SHARED
+I = CoherenceState.INVALID  # noqa: E741 - matches the protocol literature
+
+
+@dataclass(frozen=True)
+class ProtocolAction:
+    """Outcome of a processor-side protocol step."""
+
+    next_state: CoherenceState
+    bus_op: "Optional[BusOp]" = None
+
+
+@dataclass(frozen=True)
+class SnoopAction:
+    """Outcome of a snoop-side protocol step."""
+
+    next_state: CoherenceState
+    flush: bool = False
+
+
+def processor_read(
+    state: CoherenceState, shared_signal: bool = False
+) -> ProtocolAction:
+    """PrRd arcs of Figure 4a.
+
+    ``shared_signal`` is only consulted on a miss (state I): it is the
+    wired-OR shared line that selects between I->S (another clean copy
+    exists) and I->E (no other copy).
+    """
+    if state in (M, E, S):
+        return ProtocolAction(state)  # PrRd/-- self-loops.
+    if state is I:
+        next_state = S if shared_signal else E
+        return ProtocolAction(next_state, BusOp.BUS_RD)
+    raise ValueError(f"MESI does not define state {state}")
+
+
+def processor_write(state: CoherenceState) -> ProtocolAction:
+    """PrWr arcs of Figure 4a."""
+    if state is M:
+        return ProtocolAction(M)  # PrWr/--
+    if state is E:
+        return ProtocolAction(M)  # silent E->M upgrade
+    if state is S:
+        return ProtocolAction(M, BusOp.BUS_UPG)  # S->M via BusUpg
+    if state is I:
+        return ProtocolAction(M, BusOp.BUS_RDX)  # I->M via BusRdX
+    raise ValueError(f"MESI does not define state {state}")
+
+
+def snoop(state: CoherenceState, op: BusOp) -> SnoopAction:
+    """Dotted (snoop-side) arcs of Figure 4a.
+
+    ``flush`` is True when this cache must source the block: a dirty
+    flush from M, or a clean cache-to-cache supply (Flush') from E/S.
+    """
+    if state is I:
+        return SnoopAction(I)
+    if op is BusOp.BUS_RD:
+        if state is M:
+            return SnoopAction(S, flush=True)  # M->S, Flush
+        if state is E:
+            return SnoopAction(S, flush=True)  # E->S, Flush'
+        return SnoopAction(S, flush=True)  # S stays S, Flush'
+    if op is BusOp.BUS_RDX:
+        # Any valid copy is invalidated; dirty data is flushed first.
+        return SnoopAction(I, flush=True)
+    if op is BusOp.BUS_UPG:
+        if state is M or state is E:
+            raise RuntimeError(
+                "BusUpg observed while holding an exclusive copy: "
+                "protocol invariant violated"
+            )
+        return SnoopAction(I)  # S->I
+    if op in (BusOp.BUS_REPL, BusOp.WR_THRU):
+        # MESI private caches ignore these CMP-NuRAPID transactions.
+        return SnoopAction(state)
+    raise ValueError(f"unknown bus op {op}")

@@ -1,0 +1,198 @@
+"""Table-driven MESIC protocol engine (Figure 4b, Section 3.2).
+
+MESIC extends MESI with the **communication state C**: a dirty block
+with multiple tag copies pointing to one shared data copy.  The engine
+mirrors Figure 4b and the surrounding text:
+
+* the **M -> S** arc of MESI (arc ``x``) is deleted — an M block seeing
+  a BusRd transitions to **C** instead;
+* a read miss that finds a dirty copy (dirty signal) enters **C** and
+  *relocates* the single data copy into the reader's closest d-group,
+  invalidating the previous copy; every sharer enters (or remains in) C
+  and repoints to the new copy;
+* a write miss that finds a dirty copy enters **C** and writes the
+  existing copy *in place* (no new copy — the copy stays close to the
+  readers), announcing itself with BusRd + BusRdX;
+* a write hit in C stays in C but write-throughs from L1 and issues a
+  BusRdX so other sharers invalidate their stale *L1* copies while
+  their L2 tag copies stay in C;
+* there are no other exits from C (replacements aside).
+
+Processor-side results carry a :class:`DataAction` telling the
+controller what to do with the data array; the coherence-state changes
+themselves are pure functions so unit tests can walk every arc.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.coherence.states import CoherenceState
+from repro.interconnect.bus import BusOp
+
+M = CoherenceState.MODIFIED
+E = CoherenceState.EXCLUSIVE
+S = CoherenceState.SHARED
+I = CoherenceState.INVALID  # noqa: E741 - matches the protocol literature
+C = CoherenceState.COMMUNICATION
+
+
+class DataAction(enum.Enum):
+    """What the requesting controller does in the data array."""
+
+    #: No data-array change (hit served via the forward pointer).
+    NONE = "none"
+    #: Allocate a fresh copy in the requestor's closest d-group
+    #: (off-chip fill, or a MESI-style write-miss fill).
+    FILL_CLOSEST = "fill_closest"
+    #: Controlled replication's first use: take only a tag copy that
+    #: points at the already-existing on-chip data copy.
+    POINTER_ONLY = "pointer_only"
+    #: ISC read miss on a dirty block: make a new copy in the
+    #: requestor's closest d-group, invalidate the previous copy, and
+    #: repoint every sharer at the new copy.
+    RELOCATE = "relocate"
+    #: ISC write: write the single existing data copy where it is.
+    WRITE_IN_PLACE = "write_in_place"
+
+
+@dataclass(frozen=True)
+class MesicAction:
+    """Outcome of a processor-side MESIC step."""
+
+    next_state: CoherenceState
+    bus_ops: "Tuple[BusOp, ...]" = ()
+    data_action: DataAction = DataAction.NONE
+
+
+@dataclass(frozen=True)
+class MesicSnoopAction:
+    """Outcome of a snoop-side MESIC step."""
+
+    next_state: CoherenceState
+    flush: bool = False
+    #: Invalidate this core's L1 copy (BusRdX observed while in C).
+    invalidate_l1: bool = False
+    #: Repoint this tag's forward pointer at the relocated data copy.
+    repoint: bool = False
+
+
+def processor_read(
+    state: CoherenceState, shared_signal: bool = False, dirty_signal: bool = False
+) -> MesicAction:
+    """PrRd arcs of Figure 4b (hits self-loop; misses consult signals)."""
+    if state in (M, E, S, C):
+        return MesicAction(state)
+    if state is I:
+        if dirty_signal:
+            # I -> C: relocate the dirty copy close to this reader.
+            return MesicAction(C, (BusOp.BUS_RD,), DataAction.RELOCATE)
+        if shared_signal:
+            # I -> S with controlled replication's pointer return.
+            return MesicAction(S, (BusOp.BUS_RD,), DataAction.POINTER_ONLY)
+        return MesicAction(E, (BusOp.BUS_RD,), DataAction.FILL_CLOSEST)
+    raise ValueError(f"MESIC does not define state {state}")
+
+
+def processor_write(
+    state: CoherenceState, shared_signal: bool = False, dirty_signal: bool = False
+) -> MesicAction:
+    """PrWr arcs of Figure 4b."""
+    if state is M:
+        return MesicAction(M, (), DataAction.WRITE_IN_PLACE)
+    if state is E:
+        return MesicAction(M, (), DataAction.WRITE_IN_PLACE)
+    if state is S:
+        # Upgrade; other tag copies invalidate.  The single data copy is
+        # written wherever it lives (the forward pointer still works).
+        return MesicAction(M, (BusOp.BUS_UPG,), DataAction.WRITE_IN_PLACE)
+    if state is C:
+        # Write hit in C: write-through from L1 + BusRdX so other
+        # sharers drop stale L1 copies but keep their C tag copies.
+        return MesicAction(
+            C, (BusOp.WR_THRU, BusOp.BUS_RDX), DataAction.WRITE_IN_PLACE
+        )
+    if state is I:
+        if dirty_signal:
+            # I -> C (PrWr/BusRd,BusRdX): join the communication group,
+            # writing the existing copy in place so it stays close to
+            # the reader(s).
+            return MesicAction(
+                C, (BusOp.BUS_RD, BusOp.BUS_RDX), DataAction.WRITE_IN_PLACE
+            )
+        return MesicAction(M, (BusOp.BUS_RDX,), DataAction.FILL_CLOSEST)
+    raise ValueError(f"MESIC does not define state {state}")
+
+
+def snoop(state: CoherenceState, op: BusOp) -> MesicSnoopAction:
+    """Snoop-side arcs of Figure 4b (plus unchanged MESI arcs)."""
+    if state is I:
+        return MesicSnoopAction(I)
+    if op is BusOp.BUS_RD:
+        if state is M:
+            # Deleted arc x (M->S) replaced by M->C: the reader
+            # relocates the data, we flush and repoint.
+            return MesicSnoopAction(C, flush=True, repoint=True)
+        if state is C:
+            return MesicSnoopAction(C, flush=True, repoint=True)
+        # Clean copies: stay/enter S and supply via pointer return.
+        return MesicSnoopAction(S, flush=True)
+    if op is BusOp.BUS_RDX:
+        if state is C:
+            # Repeated writes to a C block: stay in C, invalidate L1.
+            return MesicSnoopAction(C, invalidate_l1=True)
+        if state is M:
+            # A writer that saw the dirty signal sends BusRd first, so a
+            # lone BusRdX against M only happens in the MESI-compatible
+            # write-miss-on-clean path; treat as MESI.
+            return MesicSnoopAction(I, flush=True)
+        return MesicSnoopAction(I)
+    if op is BusOp.BUS_UPG:
+        if state in (M, E, C):
+            raise RuntimeError(
+                "BusUpg observed while holding a dirty/exclusive copy: "
+                "protocol invariant violated"
+            )
+        return MesicSnoopAction(I)
+    if op is BusOp.WR_THRU:
+        return MesicSnoopAction(state)
+    if op is BusOp.BUS_REPL:
+        # Pointer-match invalidation is the controller's job (it knows
+        # which frame is being replaced); the state table is unchanged.
+        return MesicSnoopAction(state)
+    raise ValueError(f"unknown bus op {op}")
+
+
+@dataclass
+class GlobalStateChecker:
+    """Cross-cache invariants of MESIC, for tests and debug assertions.
+
+    For any block address, across all tag arrays:
+
+    * at most one tag copy in M or E (exclusivity);
+    * C implies no M/E copy of the same block anywhere;
+    * S copies may coexist with each other and (transiently, never
+      observably between transactions) nothing dirty.
+    """
+
+    states: "dict[int, list[CoherenceState]]" = field(default_factory=dict)
+
+    def check(self, address: int, states: "list[CoherenceState]") -> None:
+        valid = [s for s in states if s.is_valid]
+        exclusive = [s for s in valid if s.is_exclusive]
+        if len(exclusive) > 1:
+            raise AssertionError(
+                f"block {address:#x}: multiple exclusive copies {exclusive}"
+            )
+        if exclusive and len(valid) > 1:
+            raise AssertionError(
+                f"block {address:#x}: exclusive copy coexists with {valid}"
+            )
+        has_c = any(s is C for s in valid)
+        has_s = any(s is S for s in valid)
+        if has_c and has_s:
+            raise AssertionError(
+                f"block {address:#x}: C and S copies coexist"
+            )

@@ -1,0 +1,48 @@
+"""Coherence states for MESI and the paper's 5-state MESIC protocol."""
+
+from __future__ import annotations
+
+import enum
+
+
+class CoherenceState(enum.Enum):
+    """Per-tag-entry coherence state.
+
+    ``MODIFIED``/``EXCLUSIVE``/``SHARED``/``INVALID`` form the classic
+    MESI protocol [21] used by the private-cache baseline (Figure 4a).
+    ``COMMUNICATION`` (C) is CMP-NuRAPID's addition (Figure 4b,
+    Section 3.2): a *dirty* block with *multiple* tag copies pointing to
+    a single data copy, enabling in-situ communication.
+    """
+
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+    COMMUNICATION = "C"
+
+    @property
+    def is_valid(self) -> bool:
+        return self is not CoherenceState.INVALID
+
+    @property
+    def is_dirty(self) -> bool:
+        """States whose holder asserts the dirty signal (Section 3.2)."""
+        return self in (CoherenceState.MODIFIED, CoherenceState.COMMUNICATION)
+
+    @property
+    def is_exclusive(self) -> bool:
+        """States guaranteeing no other tag copy exists."""
+        return self in (CoherenceState.MODIFIED, CoherenceState.EXCLUSIVE)
+
+
+#: The four MESI states (no C), for validating the baseline protocol.
+MESI_STATES = (
+    CoherenceState.MODIFIED,
+    CoherenceState.EXCLUSIVE,
+    CoherenceState.SHARED,
+    CoherenceState.INVALID,
+)
+
+#: All five MESIC states.
+MESIC_STATES = MESI_STATES + (CoherenceState.COMMUNICATION,)

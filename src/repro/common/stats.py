@@ -1,0 +1,199 @@
+"""Event counters and distributions used by every simulator.
+
+The paper reports results as *fractions of overall cache accesses*
+(Figures 5, 8, 9, 11), *reuse-count histograms* (Figure 7), and
+*relative performance* (Figures 6, 10, 12).  The classes here collect
+the raw events those reports are computed from.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.common.types import MissClass
+
+#: Reuse-count buckets from Figure 7: 0, 1, 2-5, and >5 reuses.
+REUSE_BUCKETS = ("0", "1", "2-5", ">5")
+
+
+def reuse_bucket(count: int) -> str:
+    """Map a reuse count onto Figure 7's histogram buckets."""
+    if count < 0:
+        raise ValueError("reuse count cannot be negative")
+    if count == 0:
+        return "0"
+    if count == 1:
+        return "1"
+    if count <= 5:
+        return "2-5"
+    return ">5"
+
+
+@dataclass
+class AccessStats:
+    """Counts of L2 accesses broken down by the paper's miss classes."""
+
+    counts: "Counter[MissClass]" = field(default_factory=Counter)
+
+    def record(self, miss_class: MissClass) -> None:
+        self.counts[miss_class] += 1
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def hits(self) -> int:
+        return self.counts[MissClass.HIT]
+
+    @property
+    def misses(self) -> int:
+        return self.total - self.hits
+
+    def fraction(self, miss_class: MissClass) -> float:
+        """Fraction of all accesses in ``miss_class`` (0.0 if empty)."""
+        total = self.total
+        return self.counts[miss_class] / total if total else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.total
+        return self.misses / total if total else 0.0
+
+    def distribution(self) -> "dict[str, float]":
+        """Access mix as {class name: fraction}, the Figure 5/8 format."""
+        return {mc.value: self.fraction(mc) for mc in MissClass}
+
+    def merge(self, other: "AccessStats") -> None:
+        self.counts.update(other.counts)
+
+
+@dataclass
+class ReuseStats:
+    """Figure 7 histograms.
+
+    Tracks, for blocks that *leave* a cache, how many times they were
+    reused (hit) after the fill that brought them in.  Separate
+    histograms for blocks brought in by ROS misses (and later replaced)
+    and blocks brought in by RWS misses (and later invalidated).
+    """
+
+    ros_replaced: "Counter[str]" = field(default_factory=Counter)
+    rws_invalidated: "Counter[str]" = field(default_factory=Counter)
+
+    def record_ros_replacement(self, reuse_count: int) -> None:
+        self.ros_replaced[reuse_bucket(reuse_count)] += 1
+
+    def record_rws_invalidation(self, reuse_count: int) -> None:
+        self.rws_invalidated[reuse_bucket(reuse_count)] += 1
+
+    @staticmethod
+    def _fractions(counter: "Counter[str]") -> "dict[str, float]":
+        total = sum(counter.values())
+        if not total:
+            return {bucket: 0.0 for bucket in REUSE_BUCKETS}
+        return {bucket: counter[bucket] / total for bucket in REUSE_BUCKETS}
+
+    def ros_fractions(self) -> "dict[str, float]":
+        return self._fractions(self.ros_replaced)
+
+    def rws_fractions(self) -> "dict[str, float]":
+        return self._fractions(self.rws_invalidated)
+
+
+@dataclass
+class DgroupStats:
+    """Figure 9: where distance-associative hits are served from."""
+
+    closest_hits: int = 0
+    farther_hits: int = 0
+    misses: int = 0
+
+    def record(self, dgroup_distance: "int | None", is_hit: bool) -> None:
+        if not is_hit:
+            self.misses += 1
+        elif dgroup_distance == 0:
+            self.closest_hits += 1
+        else:
+            self.farther_hits += 1
+
+    @property
+    def total(self) -> int:
+        return self.closest_hits + self.farther_hits + self.misses
+
+    def distribution(self) -> "dict[str, float]":
+        total = self.total
+        if not total:
+            return {"closest": 0.0, "farther": 0.0, "miss": 0.0}
+        return {
+            "closest": self.closest_hits / total,
+            "farther": self.farther_hits / total,
+            "miss": self.misses / total,
+        }
+
+    @property
+    def closest_fraction_of_hits(self) -> float:
+        hits = self.closest_hits + self.farther_hits
+        return self.closest_hits / hits if hits else 0.0
+
+
+@dataclass
+class BusStats:
+    """Traffic counters for the snoopy bus."""
+
+    transactions: "Counter[str]" = field(default_factory=Counter)
+
+    def record(self, kind: str) -> None:
+        self.transactions[kind] += 1
+
+    @property
+    def total(self) -> int:
+        return sum(self.transactions.values())
+
+
+@dataclass
+class CoreTiming:
+    """Per-core cycle accounting for the in-order timing model."""
+
+    instructions: int = 0
+    cycles: int = 0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+@dataclass
+class SimulationStats:
+    """Everything one whole-system run produces."""
+
+    accesses: AccessStats = field(default_factory=AccessStats)
+    reuse: ReuseStats = field(default_factory=ReuseStats)
+    dgroups: DgroupStats = field(default_factory=DgroupStats)
+    bus: BusStats = field(default_factory=BusStats)
+    per_core: "list[CoreTiming]" = field(default_factory=list)
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(core.instructions for core in self.per_core)
+
+    @property
+    def max_cycles(self) -> int:
+        return max((core.cycles for core in self.per_core), default=0)
+
+    @property
+    def aggregate_ipc(self) -> float:
+        """Sum of per-core IPCs — the multiprogrammed (Fig. 12) metric."""
+        return sum(core.ipc for core in self.per_core)
+
+    @property
+    def throughput(self) -> float:
+        """Instructions per (wall-clock) cycle across the whole CMP.
+
+        For multithreaded workloads the paper uses transactions/second;
+        with equal per-core instruction quotas this is proportional to
+        total-instructions / slowest-core-cycles.
+        """
+        cycles = self.max_cycles
+        return self.total_instructions / cycles if cycles else 0.0

@@ -1,0 +1,19 @@
+"""CMP-NuRAPID: the paper's primary contribution."""
+
+from repro.core.data_array import DataArray, DGroup, Frame
+from repro.core.nurapid import NurapidCache, NurapidCounters
+from repro.core.pointers import FramePtr, TagPtr
+from repro.core.tag_array import NurapidTagEntry, TagArray, replacement_category
+
+__all__ = [
+    "DGroup",
+    "DataArray",
+    "Frame",
+    "FramePtr",
+    "NurapidCache",
+    "NurapidCounters",
+    "NurapidTagEntry",
+    "TagArray",
+    "TagPtr",
+    "replacement_category",
+]

@@ -1,0 +1,157 @@
+"""The shared data array and its distance groups (Section 2.2.1).
+
+The data array is divided into d-groups — large (here 2 MB) regions
+with a single uniform access latency per core.  Frames inside a d-group
+are not constrained by set mapping: distance associativity lets any
+block occupy any frame, located through the tag's forward pointer.
+Each occupied frame carries a reverse pointer naming its owner tag
+entry, used by replacement and demotion to find and update the tag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.core.pointers import FramePtr, TagPtr
+
+
+@dataclass
+class Frame:
+    """One data frame: a block-sized slot in a d-group."""
+
+    valid: bool = False
+    address: int = 0
+    rev: "Optional[TagPtr]" = None
+    dirty: bool = False
+
+    def clear(self) -> None:
+        self.valid = False
+        self.address = 0
+        self.rev = None
+        self.dirty = False
+
+
+class DGroup:
+    """One distance group: a pool of frames with a free list."""
+
+    def __init__(self, index: int, num_frames: int) -> None:
+        self.index = index
+        self.frames = [Frame() for _ in range(num_frames)]
+        self._free = list(range(num_frames - 1, -1, -1))
+
+    @property
+    def num_frames(self) -> int:
+        return len(self.frames)
+
+    @property
+    def free_count(self) -> int:
+        return len(self._free)
+
+    @property
+    def occupied_count(self) -> int:
+        return self.num_frames - self.free_count
+
+    def has_free(self) -> bool:
+        return bool(self._free)
+
+    def allocate(self) -> int:
+        """Take a free frame index; caller must then occupy it."""
+        if not self._free:
+            raise RuntimeError(f"d-group {self.index} has no free frames")
+        return self._free.pop()
+
+    def release(self, frame_index: int) -> None:
+        frame = self.frames[frame_index]
+        if frame.valid:
+            raise RuntimeError("release of an occupied frame; free it first")
+        self._free.append(frame_index)
+
+    def random_occupied(
+        self,
+        rng: np.random.Generator,
+        protect: "frozenset[FramePtr]" = frozenset(),
+    ) -> "Optional[int]":
+        """Pick a random occupied, unprotected frame (None if impossible).
+
+        Section 3.3.2: demotion victims are chosen at random because LRU
+        over thousands of frames per d-group is impractical in hardware.
+        ``protect`` holds frames with a read in progress — the busy-bit
+        mechanism of Section 3.1 inhibits replacing them.
+        """
+        occupied = self.occupied_count
+        if occupied == 0:
+            return None
+        protected_here = {p.frame for p in protect if p.dgroup == self.index}
+        if occupied <= len(protected_here):
+            return None
+        # Rejection-sample; occupancy is near-total in steady state.
+        for _ in range(64):
+            candidate = int(rng.integers(0, self.num_frames))
+            if self.frames[candidate].valid and candidate not in protected_here:
+                return candidate
+        for candidate, frame in enumerate(self.frames):
+            if frame.valid and candidate not in protected_here:
+                return candidate
+        return None
+
+
+class DataArray:
+    """All d-groups of the shared data array."""
+
+    def __init__(self, num_dgroups: int, frames_per_dgroup: int) -> None:
+        self.dgroups = [DGroup(g, frames_per_dgroup) for g in range(num_dgroups)]
+
+    def __getitem__(self, dgroup: int) -> DGroup:
+        return self.dgroups[dgroup]
+
+    def frame(self, ptr: FramePtr) -> Frame:
+        return self.dgroups[ptr.dgroup].frames[ptr.frame]
+
+    def occupy(
+        self, ptr: FramePtr, address: int, rev: TagPtr, dirty: bool = False
+    ) -> None:
+        """Fill an allocated frame with ``address``'s block."""
+        frame = self.frame(ptr)
+        if frame.valid:
+            raise RuntimeError(f"frame {ptr} already occupied")
+        frame.valid = True
+        frame.address = address
+        frame.rev = rev
+        frame.dirty = dirty
+
+    def free(self, ptr: FramePtr) -> None:
+        """Evict the block in ``ptr`` and return the frame to the pool."""
+        frame = self.frame(ptr)
+        if not frame.valid:
+            raise RuntimeError(f"frame {ptr} already free")
+        frame.clear()
+        self.dgroups[ptr.dgroup].release(ptr.frame)
+
+    def move(self, src: FramePtr, dst: FramePtr) -> None:
+        """Move a block between frames (promotion/demotion)."""
+        src_frame = self.frame(src)
+        dst_frame = self.frame(dst)
+        if not src_frame.valid:
+            raise RuntimeError(f"moving from free frame {src}")
+        if dst_frame.valid:
+            raise RuntimeError(f"moving onto occupied frame {dst}")
+        dst_frame.valid = True
+        dst_frame.address = src_frame.address
+        dst_frame.rev = src_frame.rev
+        dst_frame.dirty = src_frame.dirty
+        src_frame.clear()
+        self.dgroups[src.dgroup].release(src.frame)
+
+    def frames_holding(self, address: int) -> "Iterator[FramePtr]":
+        """All frames holding copies of ``address`` (O(frames); tests only)."""
+        for dgroup in self.dgroups:
+            for index, frame in enumerate(dgroup.frames):
+                if frame.valid and frame.address == address:
+                    yield FramePtr(dgroup.index, index)
+
+    @property
+    def total_occupied(self) -> int:
+        return sum(group.occupied_count for group in self.dgroups)

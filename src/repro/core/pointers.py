@@ -1,0 +1,28 @@
+"""Forward and reverse pointers (Section 2.1).
+
+Distance associativity decouples a block's set-associative way from its
+physical location.  The **forward pointer** lives in a tag entry and
+names the data frame holding the block; the **reverse pointer** lives in
+the data frame and names the *owner* tag entry — the entry through which
+replacement decisions for that frame are made.  In an 8 MB cache with
+128 B blocks, 16-bit pointers suffice ([8]; a 3% capacity overhead).
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+
+class FramePtr(NamedTuple):
+    """Forward pointer: (d-group index, frame index within the d-group)."""
+
+    dgroup: int
+    frame: int
+
+
+class TagPtr(NamedTuple):
+    """Reverse pointer: (core, set index, way) naming one tag entry."""
+
+    core: int
+    set_index: int
+    way: int

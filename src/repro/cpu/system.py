@@ -1,0 +1,157 @@
+"""The 4-core CMP: cores, L1s, one L2 design, and the run loop.
+
+:class:`CmpSystem` wires per-core L1s above any :class:`~repro.caches.
+design.L2Design` and keeps the hierarchy coherent at the granularity
+the trace-driven model needs:
+
+* **inclusion** — L2 evictions/invalidations invalidate the covered L1
+  blocks via the design's L1-invalidate hook;
+* **write-invalidate at L1** — a store that reaches the L2 invalidates
+  other cores' L1 copies of the block;
+* **read-downgrade** — a load that reaches the L2 revokes other cores'
+  L1 write permission, so their next store must re-request it from the
+  L2 (this is how L2-level coherence observes writes after reads, as a
+  MESI L1 hierarchy would);
+* **write-through blocks** — when the L2 marks a block write-through
+  (CMP-NuRAPID's C state), L1 write permission is withheld and every
+  store is sent down.
+
+:func:`run_workload` drives a system from a workload's per-core access
+streams, interleaving cores round-robin, and returns the
+:class:`~repro.common.stats.SimulationStats` the experiments report.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.caches.design import L2Design
+from repro.caches.l1 import L1Cache
+from repro.common.params import SystemParams
+from repro.common.stats import CoreTiming, SimulationStats
+from repro.common.types import Access, AccessResult, AccessType
+from repro.cpu.core import InOrderCore
+
+
+class TimedAccess:
+    """One workload event: a cache-line touch with its instruction context.
+
+    Attributes:
+        access: the memory reference presented to the hierarchy.
+        gap: non-memory instructions executed before it.
+        colocated: additional memory instructions that hit the same
+            cache line (spatial locality) — guaranteed L1 hits, charged
+            the L1 latency without being simulated individually.
+
+    A plain slotted class: traces contain millions of these and
+    construction cost dominates the generator's hot path.
+    """
+
+    __slots__ = ("access", "gap", "colocated")
+
+    def __init__(self, access: Access, gap: int = 0, colocated: int = 0) -> None:
+        self.access = access
+        self.gap = gap
+        self.colocated = colocated
+
+    def __repr__(self) -> str:
+        return (
+            f"TimedAccess({self.access!r}, gap={self.gap}, "
+            f"colocated={self.colocated})"
+        )
+
+
+class CmpSystem:
+    """A CMP with per-core L1s above one L2 design."""
+
+    def __init__(self, design: L2Design, params: "Optional[SystemParams]" = None) -> None:
+        self.params = params or SystemParams()
+        self.design = design
+        self.l1s = [L1Cache(self.params.l1) for _ in range(self.params.num_cores)]
+        self.cores = [
+            InOrderCore(i, self.params.l1.latency)
+            for i in range(self.params.num_cores)
+        ]
+        design.set_l1_invalidate_hook(self._on_l2_invalidate)
+
+    def _on_l2_invalidate(self, core: int, l2_block_address: int) -> None:
+        self.l1s[core].invalidate_l2_block(l2_block_address, self.design.block_size)
+
+    def _others(self, core: int) -> "Iterable[int]":
+        return (c for c in range(self.params.num_cores) if c != core)
+
+    def access(self, access: Access) -> int:
+        """Run one memory reference; returns its stall cycles (0 on L1 hit)."""
+        core = access.core
+        l1 = self.l1s[core]
+
+        if access.is_write:
+            if l1.store(access.address):
+                return 0
+            result = self.design.access(access, now=self.cores[core].cycles)
+            l1.fill(access.address, writable=not result.write_through, dirty=True)
+            for other in self._others(core):
+                self.l1s[other].invalidate(access.address)
+            # Stores retire through a store buffer by default: the
+            # hierarchy has processed the write (coherence, traffic,
+            # statistics) but the in-order core does not stall on it.
+            return result.latency if self.params.blocking_stores else 0
+
+        if l1.load(access.address):
+            return 0
+        result = self.design.access(access, now=self.cores[core].cycles)
+        l1.fill(access.address, writable=False)
+        for other in self._others(core):
+            self.l1s[other].revoke_writable(access.address)
+        return result.latency
+
+    def reset_stats(self) -> None:
+        """Clear all statistics after a warm-up phase; state is kept."""
+        self.design.reset_stats()
+        self.cores = [
+            InOrderCore(i, self.params.l1.latency)
+            for i in range(self.params.num_cores)
+        ]
+        for l1 in self.l1s:
+            l1.stats = type(l1.stats)()
+
+    def run(self, events: "Iterable[TimedAccess]") -> None:
+        """Execute a stream of timed accesses."""
+        for event in events:
+            core = self.cores[event.access.core]
+            if event.gap:
+                core.execute_gap(event.gap)
+            if event.colocated:
+                core.execute_colocated(event.colocated)
+            core.execute_memory(self.access(event.access))
+
+    def stats(self) -> SimulationStats:
+        """Collect the run's statistics from every component."""
+        stats = SimulationStats(accesses=self.design.stats)
+        stats.per_core = [
+            CoreTiming(core.instructions, core.cycles) for core in self.cores
+        ]
+        reuse = getattr(self.design, "reuse", None)
+        if reuse is not None:
+            stats.reuse = reuse
+        dgroups = getattr(self.design, "dgroup_stats", None)
+        if dgroups is not None:
+            stats.dgroups = dgroups
+        bus = getattr(self.design, "bus", None)
+        if bus is not None:
+            stats.bus = bus.stats
+        bus_stats = getattr(self.design, "bus_stats", None)
+        if bus_stats is not None:
+            stats.bus = bus_stats
+        return stats
+
+
+def run_workload(design: L2Design, events: "Iterable[TimedAccess]",
+                 params: "Optional[SystemParams]" = None) -> SimulationStats:
+    """Convenience wrapper: build a system, run, return statistics."""
+    system = CmpSystem(design, params)
+    system.run(events)
+    return system.stats()
+
+
+__all__ = ["CmpSystem", "TimedAccess", "run_workload", "AccessResult", "AccessType"]

@@ -1,0 +1,180 @@
+"""Text renderings of the paper's figures.
+
+The paper presents its evaluation as stacked-bar charts (access-mix
+distributions, Figures 5/7/8/9/11) and grouped bars (relative
+performance, Figures 6/10/12).  This module renders both as aligned
+Unicode/ASCII charts so experiment output can *look* like the figure it
+reproduces without any plotting dependency.
+
+Stacked bars render horizontally, one row per bar, with a legend::
+
+    oltp/shared   |#########################.....|  hits 83.1%  capacity 5.0%
+    oltp/private  |###################xxxx**.....|  ...
+
+Grouped bars render one row per (group, series) with proportional bar
+lengths and the numeric value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+#: Fill characters assigned to stacked segments, in order.
+_SEGMENT_CHARS = "#x*o+=~-"
+
+
+@dataclass
+class StackedBar:
+    """One bar: a label and ordered {segment name: fraction}."""
+
+    label: str
+    segments: "Mapping[str, float]"
+
+
+def render_stacked_bars(
+    bars: "Sequence[StackedBar]",
+    width: int = 40,
+    baseline: float = 0.0,
+) -> str:
+    """Render stacked bars of fractions summing to <= 1.
+
+    ``baseline`` mimics the paper's truncated y-axes ("the y-axis scale
+    starts from 0.5 to show the distributions clearly"): the first
+    ``baseline`` of every bar is cut off before scaling.
+    """
+    if not bars:
+        return "(no data)"
+    if not 0.0 <= baseline < 1.0:
+        raise ValueError("baseline must be in [0, 1)")
+    segment_names: "List[str]" = []
+    for bar in bars:
+        for name in bar.segments:
+            if name not in segment_names:
+                segment_names.append(name)
+    chars = {
+        name: _SEGMENT_CHARS[i % len(_SEGMENT_CHARS)]
+        for i, name in enumerate(segment_names)
+    }
+    label_width = max(len(bar.label) for bar in bars)
+    scale = width / (1.0 - baseline)
+
+    lines = []
+    for bar in bars:
+        cells: "List[str]" = []
+        consumed = 0.0
+        for name in segment_names:
+            fraction = bar.segments.get(name, 0.0)
+            start = max(consumed, baseline)
+            end = max(consumed + fraction, baseline)
+            consumed += fraction
+            length = int(round((end - baseline) * scale)) - int(
+                round((start - baseline) * scale)
+            )
+            cells.append(chars[name] * max(length, 0))
+        body = "".join(cells)[:width].ljust(width, ".")
+        values = "  ".join(
+            f"{name} {100 * bar.segments.get(name, 0.0):.1f}%"
+            for name in segment_names
+            if bar.segments.get(name, 0.0) > 0
+        )
+        lines.append(f"{bar.label.ljust(label_width)} |{body}| {values}")
+    legend = "  ".join(f"{chars[name]}={name}" for name in segment_names)
+    lines.append(f"{'legend'.ljust(label_width)}  {legend}")
+    if baseline:
+        lines.append(
+            f"{''.ljust(label_width)}  (bars start at "
+            f"{100 * baseline:.0f}%, as in the paper's figures)"
+        )
+    return "\n".join(lines)
+
+
+@dataclass
+class BarGroup:
+    """One group of bars: a label and ordered {series name: value}."""
+
+    label: str
+    values: "Mapping[str, float]"
+
+
+def render_grouped_bars(
+    groups: "Sequence[BarGroup]",
+    width: int = 40,
+    reference: "Optional[float]" = 1.0,
+    fmt: str = "{:.3f}",
+) -> str:
+    """Render grouped horizontal bars scaled to the maximum value.
+
+    ``reference`` draws a tick at that value (the uniform-shared = 1.0
+    line of Figures 6/10/12); None disables it.
+    """
+    if not groups:
+        return "(no data)"
+    series: "List[str]" = []
+    for group in groups:
+        for name in group.values:
+            if name not in series:
+                series.append(name)
+    label_width = max(
+        max(len(group.label) for group in groups),
+        max(len(name) for name in series),
+    )
+    peak = max(
+        max(group.values.values(), default=0.0) for group in groups
+    )
+    if peak <= 0:
+        peak = 1.0
+    scale = width / peak
+
+    lines = []
+    for group in groups:
+        lines.append(f"{group.label}:")
+        for name in series:
+            if name not in group.values:
+                continue
+            value = group.values[name]
+            length = int(round(value * scale))
+            bar = list("#" * min(length, width))
+            if reference is not None and 0 < reference <= peak:
+                tick = min(int(round(reference * scale)), width - 1)
+                while len(bar) <= tick:
+                    bar.append(" ")
+                bar[tick] = "|"
+            rendered = "".join(bar).ljust(width)
+            lines.append(
+                f"  {name.ljust(label_width)} {rendered} {fmt.format(value)}"
+            )
+    if reference is not None:
+        lines.append(f"  ('|' marks {fmt.format(reference)})")
+    return "\n".join(lines)
+
+
+def access_mix_chart(
+    distributions: "Dict[str, Dict[str, Dict[str, float]]]",
+    designs: "Sequence[str]",
+    order: "Sequence[str]" = ("hit", "ros", "rws", "capacity"),
+    baseline: float = 0.5,
+) -> str:
+    """Figure 5/8-style chart from experiment distribution dicts."""
+    bars = []
+    for workload, by_design in distributions.items():
+        for design in designs:
+            if design not in by_design:
+                continue
+            segments = {
+                key: by_design[design].get(key, 0.0) for key in order
+            }
+            bars.append(StackedBar(f"{workload}/{design}", segments))
+    return render_stacked_bars(bars, baseline=baseline)
+
+
+def performance_chart(
+    relative: "Dict[str, Dict[str, float]]",
+    designs: "Sequence[str]",
+) -> str:
+    """Figure 6/10/12-style chart from relative-performance dicts."""
+    groups = [
+        BarGroup(workload, {d: by_design[d] for d in designs if d in by_design})
+        for workload, by_design in relative.items()
+    ]
+    return render_grouped_bars(groups)

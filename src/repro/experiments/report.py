@@ -1,0 +1,87 @@
+"""Plain-text table rendering for experiment reports.
+
+Each experiment prints the same rows/series the paper's table or figure
+shows, with the paper's published value next to the measured one so the
+*shape* comparison (who wins, by roughly what factor) is immediate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+
+def format_table(headers: "Sequence[str]", rows: "Sequence[Sequence[object]]") -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        line = "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        lines.append(line.rstrip())
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def pct(value: float, digits: int = 1) -> str:
+    """Format a fraction as a percentage string."""
+    return f"{100 * value:.{digits}f}%"
+
+
+def ratio(value: float, digits: int = 3) -> str:
+    return f"{value:.{digits}f}"
+
+
+@dataclass
+class Comparison:
+    """One paper-vs-measured data point."""
+
+    label: str
+    paper: "Optional[float]"
+    measured: float
+    unit: str = "%"
+
+    def row(self) -> "list[str]":
+        if self.unit == "%":
+            paper = pct(self.paper) if self.paper is not None else "-"
+            measured = pct(self.measured)
+        elif self.unit == "x":
+            paper = ratio(self.paper) if self.paper is not None else "-"
+            measured = ratio(self.measured)
+        else:
+            paper = str(self.paper) if self.paper is not None else "-"
+            measured = str(self.measured)
+        return [self.label, paper, measured]
+
+
+@dataclass
+class ExperimentReport:
+    """A titled collection of paper-vs-measured comparisons."""
+
+    title: str
+    comparisons: "list[Comparison]" = field(default_factory=list)
+    notes: "list[str]" = field(default_factory=list)
+
+    def add(
+        self,
+        label: str,
+        paper: "Optional[float]",
+        measured: float,
+        unit: str = "%",
+    ) -> None:
+        self.comparisons.append(Comparison(label, paper, measured, unit))
+
+    def render(self) -> str:
+        table = format_table(
+            ["metric", "paper", "measured"],
+            [c.row() for c in self.comparisons],
+        )
+        parts = [self.title, "=" * len(self.title), table]
+        if self.notes:
+            parts.append("")
+            parts.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(parts)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

@@ -1,0 +1,204 @@
+"""Shared experiment machinery: design registry, warm-up, and runs.
+
+Every figure/table module runs the same loop: build a workload, warm the
+hierarchy (the paper warms each benchmark before its measurement run,
+Section 4.3), reset statistics, measure, and report.  The design
+registry maps the paper's design names to factories so experiments can
+enumerate exactly the bars each figure shows.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Optional, Sequence
+
+from repro.caches.design import L2Design
+from repro.caches.ideal import IdealCache
+from repro.caches.private import PrivateCaches
+from repro.caches.shared import SharedCache
+from repro.caches.snuca import SnucaCache
+from repro.common.rng import DEFAULT_SEED
+from repro.common.stats import SimulationStats
+from repro.core.nurapid import NurapidCache
+from repro.cpu.system import CmpSystem, TimedAccess
+from repro.workloads.multiprogrammed import MultiprogrammedWorkload, make_mix
+from repro.workloads.multithreaded import make_workload
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Run lengths and seed for one experiment invocation.
+
+    The defaults are sized for meaningful statistics (hundreds of
+    thousands of L2 accesses); ``quick()`` returns a config small
+    enough for benchmarks and CI.
+    """
+
+    warmup_per_core: int = 400_000
+    measure_per_core: int = 400_000
+    seed: int = DEFAULT_SEED
+
+    @staticmethod
+    def quick() -> "ExperimentConfig":
+        return ExperimentConfig(warmup_per_core=60_000, measure_per_core=60_000)
+
+
+#: Paper design names -> factories, in the paper's presentation order.
+#: The ``-cr`` and ``-isc`` variants isolate one optimization each, as
+#: Figures 8 and 9 do.
+DESIGN_FACTORIES: "Dict[str, Callable[[], L2Design]]" = {
+    "uniform-shared": SharedCache,
+    "non-uniform-shared": SnucaCache,
+    "private": PrivateCaches,
+    "ideal": IdealCache,
+    "cmp-nurapid": NurapidCache,
+    "cmp-nurapid-cr": lambda: NurapidCache(enable_cr=True, enable_isc=False),
+    "cmp-nurapid-isc": lambda: NurapidCache(enable_cr=False, enable_isc=True),
+}
+
+
+def build_design(name: str, **kwargs) -> L2Design:
+    """Instantiate a design by its paper name."""
+    try:
+        factory = DESIGN_FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown design {name!r}; choose from {sorted(DESIGN_FACTORIES)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def run_design_on_events(
+    design: L2Design,
+    events: "Iterable[TimedAccess]",
+    warmup_events: int,
+) -> "tuple[CmpSystem, SimulationStats]":
+    """Warm up, reset statistics, measure; return (system, stats)."""
+    system = CmpSystem(design)
+    iterator = iter(events)
+    if warmup_events:
+        system.run(itertools.islice(iterator, warmup_events))
+        system.reset_stats()
+    system.run(iterator)
+    return system, system.stats()
+
+
+def run_multithreaded(
+    design: L2Design,
+    workload_name: str,
+    config: "ExperimentConfig | None" = None,
+) -> "tuple[CmpSystem, SimulationStats]":
+    """Run one design on one Table 3 workload."""
+    config = config or ExperimentConfig()
+    workload = make_workload(workload_name, seed=config.seed)
+    total = config.warmup_per_core + config.measure_per_core
+    events = workload.events(accesses_per_core=total)
+    warmup_events = config.warmup_per_core * workload.num_cores
+    return run_design_on_events(design, events, warmup_events)
+
+
+def run_mix(
+    design: L2Design,
+    mix_name: str,
+    config: "ExperimentConfig | None" = None,
+) -> "tuple[CmpSystem, SimulationStats]":
+    """Run one design on one Table 2 multiprogrammed mix."""
+    config = config or ExperimentConfig()
+    workload: MultiprogrammedWorkload = make_mix(mix_name, seed=config.seed)
+    total = config.warmup_per_core + config.measure_per_core
+    events = workload.events(accesses_per_core=total)
+    warmup_events = config.warmup_per_core * workload.num_cores
+    return run_design_on_events(design, events, warmup_events)
+
+
+@dataclass
+class SweepResult:
+    """Results of a (workloads x designs) sweep."""
+
+    #: ``stats[workload][design]`` -> SimulationStats.
+    stats: "Dict[str, Dict[str, SimulationStats]]" = field(default_factory=dict)
+
+    def relative_performance(
+        self, baseline: str = "uniform-shared", metric: str = "throughput"
+    ) -> "Dict[str, Dict[str, float]]":
+        """Each design's performance normalized to ``baseline``.
+
+        ``metric`` selects the paper's measure: ``"throughput"``
+        (transactions/second proxy — instructions over the slowest
+        core's cycles) for multithreaded runs, ``"aggregate_ipc"``
+        (sum of per-core IPCs) for multiprogrammed runs (Section 5.2.2).
+        """
+        out: "Dict[str, Dict[str, float]]" = {}
+        for workload, by_design in self.stats.items():
+            base = getattr(by_design[baseline], metric)
+            out[workload] = {
+                design: getattr(stats, metric) / base if base else 0.0
+                for design, stats in by_design.items()
+            }
+        return out
+
+    def average_relative(
+        self,
+        workloads: "Sequence[str]",
+        baseline: str = "uniform-shared",
+        metric: str = "throughput",
+    ) -> "Dict[str, float]":
+        """Arithmetic mean of relative performance over ``workloads``."""
+        rel = self.relative_performance(baseline, metric)
+        designs = next(iter(rel.values())).keys()
+        return {
+            design: sum(rel[w][design] for w in workloads) / len(workloads)
+            for design in designs
+        }
+
+
+def sweep(
+    workload_names: "Sequence[str]",
+    design_names: "Sequence[str]",
+    config: "ExperimentConfig | None" = None,
+    multiprogrammed: bool = False,
+    cache: "Optional[StatsCache]" = None,
+) -> SweepResult:
+    """Run every design on every workload; the core of each figure."""
+    config = config or ExperimentConfig()
+    cache = cache if cache is not None else StatsCache()
+    result = SweepResult()
+    for workload in workload_names:
+        result.stats[workload] = {}
+        for design_name in design_names:
+            result.stats[workload][design_name] = cache.get(
+                workload,
+                design_name,
+                lambda name=design_name: build_design(name),
+                config,
+                multiprogrammed,
+            )
+    return result
+
+
+class StatsCache:
+    """Memoizes (workload, design-key) runs across experiment modules.
+
+    Figures 5-10 share most of their underlying simulations; a suite run
+    passes one cache to every experiment so each (workload, design)
+    pair is simulated exactly once.
+    """
+
+    def __init__(self) -> None:
+        self._cache: "Dict[tuple, SimulationStats]" = {}
+
+    def get(
+        self,
+        workload: str,
+        design_key: str,
+        factory: "Callable[[], L2Design]",
+        config: ExperimentConfig,
+        multiprogrammed: bool = False,
+    ) -> SimulationStats:
+        key = (workload, design_key, config, multiprogrammed)
+        if key not in self._cache:
+            runner = run_mix if multiprogrammed else run_multithreaded
+            _, stats = runner(factory(), workload, config)
+            self._cache[key] = stats
+        return self._cache[key]

@@ -1,0 +1,21 @@
+"""On-chip interconnect models: snoopy bus and tag-to-d-group crossbar."""
+
+from repro.interconnect.bus import (
+    BusOp,
+    BusResult,
+    BusTransaction,
+    SnoopBus,
+    SnoopReply,
+    Snooper,
+)
+from repro.interconnect.crossbar import Crossbar
+
+__all__ = [
+    "BusOp",
+    "BusResult",
+    "BusTransaction",
+    "Crossbar",
+    "SnoopBus",
+    "SnoopReply",
+    "Snooper",
+]

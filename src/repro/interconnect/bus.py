@@ -1,0 +1,139 @@
+"""Transaction-level model of the snoopy split-transaction bus.
+
+CMP-NuRAPID's private tag arrays snoop on a bus exactly like SMP private
+caches (Section 2.2.2).  The bus carries *addresses* and — new in
+CMP-NuRAPID — *pointers*, so that controlled replication can return a
+forward pointer instead of a whole data block (Section 3.1).  Alongside
+MESI's shared signal, a **dirty signal** tells a missing reader/writer
+that an M or C copy exists so it can transition to C (Section 3.2).
+
+All designs that use the bus charge Table 1's 32-cycle latency per
+transaction; per the paper we ignore additional arbitration overheads,
+which is conservative *against* CMP-NuRAPID's competitors.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Protocol
+
+from repro.common.stats import BusStats
+
+
+class BusOp(enum.Enum):
+    """Bus transaction kinds (Figure 4 plus Section 3.1's BusRepl)."""
+
+    BUS_RD = "BusRd"
+    BUS_RDX = "BusRdX"
+    BUS_UPG = "BusUpg"
+    BUS_REPL = "BusRepl"
+    WR_THRU = "WrThru"
+
+
+@dataclass(frozen=True)
+class BusTransaction:
+    """One broadcast on the bus."""
+
+    op: BusOp
+    address: int
+    issuer: int
+
+
+@dataclass
+class SnoopReply:
+    """One snooper's response to an observed transaction.
+
+    Attributes:
+        shared: asserts the shared signal (a clean copy exists here).
+        dirty: asserts the dirty signal (an M or C copy exists here).
+        supplies_data: this snooper will source the block
+            (cache-to-cache transfer / flush).
+        pointer: forward pointer returned on the pointer wires instead
+            of data (controlled replication's pointer return).
+    """
+
+    shared: bool = False
+    dirty: bool = False
+    supplies_data: bool = False
+    pointer: "Optional[object]" = None
+
+
+@dataclass
+class BusResult:
+    """Aggregate of all snoop replies for one transaction."""
+
+    shared: bool = False
+    dirty: bool = False
+    supplier: "Optional[int]" = None
+    pointer: "Optional[object]" = None
+    latency: int = 0
+
+
+class Snooper(Protocol):
+    """Anything attached to the bus: typically an L2 controller."""
+
+    def snoop(self, txn: BusTransaction) -> SnoopReply:  # pragma: no cover
+        ...
+
+
+@dataclass
+class SnoopBus:
+    """Pipelined split-transaction snoopy bus.
+
+    ``occupancy`` optionally enables a contention model: each
+    transaction holds the (single) address bus for that many cycles, and
+    a transaction issued at virtual time ``now`` while the bus is still
+    busy queues behind it.  The paper assumes an uncontended bus
+    ("ignoring overheads in bus latency helps private caches"), so the
+    default occupancy of 0 reproduces that; the bus-contention ablation
+    turns it on.
+    """
+
+    latency: int
+    occupancy: int = 0
+    stats: BusStats = field(default_factory=BusStats)
+    _snoopers: "list[tuple[int, Snooper]]" = field(default_factory=list)
+    _busy_until: int = 0
+
+    def attach(self, core: int, snooper: Snooper) -> None:
+        """Attach ``snooper`` as core ``core``'s bus agent."""
+        if any(existing == core for existing, _ in self._snoopers):
+            raise ValueError(f"core {core} already attached")
+        self._snoopers.append((core, snooper))
+
+    @property
+    def num_agents(self) -> int:
+        return len(self._snoopers)
+
+    def issue(self, txn: BusTransaction, now: int = 0) -> BusResult:
+        """Broadcast ``txn``; every *other* agent snoops it.
+
+        Returns the wired-OR of the shared and dirty signals, the
+        identity of the (unique) data/pointer supplier if any, and the
+        bus latency to charge the issuer — including any queueing delay
+        when the contention model is enabled and the bus is busy at
+        virtual time ``now``.
+        """
+        self.stats.record(txn.op.value)
+        wait = 0
+        if self.occupancy:
+            wait = max(0, self._busy_until - now)
+            self._busy_until = max(now, self._busy_until) + self.occupancy
+        result = BusResult(latency=self.latency + wait)
+        for core, snooper in self._snoopers:
+            if core == txn.issuer:
+                continue
+            reply = snooper.snoop(txn)
+            result.shared = result.shared or reply.shared
+            result.dirty = result.dirty or reply.dirty
+            if reply.supplies_data or reply.pointer is not None:
+                if result.supplier is not None and reply.supplies_data:
+                    raise RuntimeError(
+                        f"two agents supplied data for {txn.address:#x}"
+                    )
+                if reply.supplies_data:
+                    result.supplier = core
+                if reply.pointer is not None:
+                    result.pointer = reply.pointer
+        return result

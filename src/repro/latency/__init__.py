@@ -1,0 +1,42 @@
+"""Latency and energy derivation: Table 1 constants, a Cacti-style
+timing model, and a first-order dynamic-energy model."""
+
+from repro.latency import energy
+from repro.latency.cacti import (
+    AccessTime,
+    best_array_delay_ps,
+    data_array_access,
+    derive_table1,
+    structure_side_mm,
+    tag_array_access,
+)
+from repro.latency.tables import (
+    NURAPID_DGROUP_LATENCIES_SORTED,
+    NURAPID_TAG_LATENCY,
+    PRIVATE_TOTAL_LATENCY,
+    SHARED_TOTAL_LATENCY,
+    Table1Row,
+    dgroup_preferences,
+    nurapid_dgroup_latencies,
+    snuca_bank_latencies,
+    table1_rows,
+)
+
+__all__ = [
+    "AccessTime",
+    "energy",
+    "NURAPID_DGROUP_LATENCIES_SORTED",
+    "NURAPID_TAG_LATENCY",
+    "PRIVATE_TOTAL_LATENCY",
+    "SHARED_TOTAL_LATENCY",
+    "Table1Row",
+    "best_array_delay_ps",
+    "data_array_access",
+    "derive_table1",
+    "dgroup_preferences",
+    "nurapid_dgroup_latencies",
+    "snuca_bank_latencies",
+    "structure_side_mm",
+    "table1_rows",
+    "tag_array_access",
+]

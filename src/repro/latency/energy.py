@@ -1,0 +1,189 @@
+"""Per-access energy model for the evaluated cache designs.
+
+NuRAPID's lineage is explicitly energy-aware: distance associativity
+was proposed for "high-performance energy-efficient non-uniform cache
+architectures" [8], and sequential tag-data access — which CMP-NuRAPID
+inherits — exists to avoid firing all set-associative ways in parallel.
+This module extends the reproduction with a first-order dynamic-energy
+account so those arguments can be quantified:
+
+* reading/writing an SRAM array costs energy proportional to the number
+  of subarray bits activated — sequential tag-data access activates one
+  way, parallel access activates all ways;
+* moving a block over wires (bus transfers, crossbar hops, H-trees)
+  costs energy proportional to bits x millimetres;
+* off-chip accesses carry a large fixed cost.
+
+Constants are representative 70 nm numbers (the paper's node); they are
+deliberately simple — the interesting outputs are the *ratios* between
+designs, e.g. a private-cache coherence miss moving 128 B across the
+die versus CMP-NuRAPID's pointer return moving 2 B.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.common.params import CacheGeometry
+from repro.latency.cacti import array_area_mm2, structure_side_mm
+
+#: Dynamic read energy per bit of activated subarray (pJ/bit) at 70 nm.
+ARRAY_PJ_PER_BIT = 0.009
+
+#: Wire energy per bit per millimetre (pJ/bit/mm) for repeated wires.
+WIRE_PJ_PER_BIT_MM = 0.18
+
+#: Fixed energy of an off-chip DRAM access (pJ) — pad + DRAM core.
+OFFCHIP_PJ = 8000.0
+
+#: Tag entry width (bits) including state; matches the cacti model.
+TAG_ENTRY_BITS = 34
+FORWARD_POINTER_BITS = 16
+
+
+def tag_probe_energy(
+    geometry: CacheGeometry,
+    sequential: bool = True,
+    entry_bits: int = TAG_ENTRY_BITS,
+) -> float:
+    """Energy of one tag probe (pJ).
+
+    Sequential tag-data access reads every way of the *tag* array (the
+    comparison needs them) but touches no data way until the match is
+    known; ``sequential=False`` models a parallel-access cache that also
+    fires all data ways, which :func:`data_access_energy` then charges.
+    """
+    ways = geometry.associativity
+    return ARRAY_PJ_PER_BIT * entry_bits * ways * (1.0 if sequential else 1.25)
+
+
+def data_access_energy(
+    geometry: CacheGeometry, sequential: bool = True
+) -> float:
+    """Energy of one data-array access (pJ) for a full block."""
+    bits = geometry.block_size * 8
+    ways = 1 if sequential else geometry.associativity
+    return ARRAY_PJ_PER_BIT * bits * ways
+
+
+def wire_energy(bits: int, millimetres: float) -> float:
+    """Energy of moving ``bits`` over ``millimetres`` of wire (pJ)."""
+    return WIRE_PJ_PER_BIT_MM * bits * millimetres
+
+
+@dataclass
+class EnergyAccount:
+    """Accumulates energy (pJ) by category."""
+
+    tag: float = 0.0
+    data: float = 0.0
+    wire: float = 0.0
+    offchip: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.tag + self.data + self.wire + self.offchip
+
+    def add(self, other: "EnergyAccount") -> None:
+        self.tag += other.tag
+        self.data += other.data
+        self.wire += other.wire
+        self.offchip += other.offchip
+
+
+@dataclass
+class DesignEnergyModel:
+    """Energy per *event kind* for one L2 design.
+
+    The simulators already count events (hits, misses, bus
+    transactions, promotions, demotions); this model prices them.
+    ``estimate`` combines the two into an energy-per-access figure.
+    """
+
+    name: str
+    tag_pj: float
+    data_pj: float
+    #: Wire energy of bringing a block from its on-chip source (pJ).
+    onchip_transfer_pj: float
+    #: Wire energy of a pointer return instead of a block (pJ).
+    pointer_transfer_pj: float = 0.0
+
+    def hit_energy(self) -> float:
+        return self.tag_pj + self.data_pj
+
+    def onchip_miss_energy(self) -> float:
+        return self.tag_pj + self.data_pj + self.onchip_transfer_pj
+
+    def offchip_miss_energy(self) -> float:
+        return self.tag_pj + self.data_pj + OFFCHIP_PJ
+
+
+def shared_cache_model() -> DesignEnergyModel:
+    geometry = CacheGeometry(8 << 20, 32, 128)
+    side = structure_side_mm(geometry.capacity_bytes)
+    return DesignEnergyModel(
+        name="uniform-shared",
+        tag_pj=tag_probe_energy(geometry),
+        data_pj=data_access_energy(geometry),
+        onchip_transfer_pj=wire_energy(geometry.block_size * 8, side),
+    )
+
+
+def private_cache_model() -> DesignEnergyModel:
+    geometry = CacheGeometry(2 << 20, 8, 128)
+    chip = structure_side_mm(8 << 20)
+    return DesignEnergyModel(
+        name="private",
+        tag_pj=tag_probe_energy(geometry),
+        data_pj=data_access_energy(geometry),
+        # Coherence misses ship a whole block across the die and back
+        # to the requestor over the bus.
+        onchip_transfer_pj=wire_energy(geometry.block_size * 8, 2 * chip),
+    )
+
+
+def nurapid_model() -> DesignEnergyModel:
+    tag_geometry = CacheGeometry(4 << 20, 8, 128)
+    data_geometry = CacheGeometry(2 << 20, 8, 128)
+    chip = structure_side_mm(8 << 20)
+    return DesignEnergyModel(
+        name="cmp-nurapid",
+        tag_pj=tag_probe_energy(
+            tag_geometry, entry_bits=TAG_ENTRY_BITS + FORWARD_POINTER_BITS
+        ),
+        data_pj=data_access_energy(data_geometry),
+        # A remote d-group access crosses up to one chip side on the
+        # crossbar; no bus block transfer is needed.
+        onchip_transfer_pj=wire_energy(data_geometry.block_size * 8, chip),
+        # Controlled replication's pointer return: 16 bits over the bus.
+        pointer_transfer_pj=wire_energy(FORWARD_POINTER_BITS, 2 * chip),
+    )
+
+
+def pointer_vs_block_transfer_ratio() -> float:
+    """How much cheaper a pointer return is than a block transfer.
+
+    Section 3.1's pointer return moves 16 bits where a conventional
+    cache-to-cache transfer moves a 128 B block — a ~64x reduction in
+    transfer energy, independent of the wire constants.
+    """
+    block_bits = 128 * 8
+    return block_bits / FORWARD_POINTER_BITS
+
+
+def estimate_energy_per_access(
+    model: DesignEnergyModel,
+    hit_fraction: float,
+    onchip_miss_fraction: float,
+    offchip_miss_fraction: float,
+) -> float:
+    """Average pJ per L2 access given a measured access mix."""
+    total = hit_fraction + onchip_miss_fraction + offchip_miss_fraction
+    if not math.isclose(total, 1.0, abs_tol=1e-6):
+        raise ValueError(f"access-mix fractions sum to {total}, expected 1.0")
+    return (
+        hit_fraction * model.hit_energy()
+        + onchip_miss_fraction * model.onchip_miss_energy()
+        + offchip_miss_fraction * model.offchip_miss_energy()
+    )

@@ -1,0 +1,48 @@
+"""Synthetic workload generators for Table 2 and Table 3 workloads,
+plus trace-file I/O for user-supplied traces."""
+
+from repro.workloads import tracefile
+from repro.workloads.base import (
+    BLOCK,
+    RegionSpec,
+    SyntheticWorkload,
+    WorkloadSpec,
+    private_block_address,
+    shared_ro_block_address,
+    shared_rw_block_address,
+)
+from repro.workloads.multiprogrammed import (
+    MIXES,
+    SPEC_APPS,
+    AppModel,
+    MultiprogrammedWorkload,
+    make_mix,
+)
+from repro.workloads.multithreaded import (
+    COMMERCIAL,
+    MULTITHREADED,
+    SCIENTIFIC,
+    make_workload,
+    workload_spec,
+)
+
+__all__ = [
+    "BLOCK",
+    "COMMERCIAL",
+    "MIXES",
+    "MULTITHREADED",
+    "SCIENTIFIC",
+    "SPEC_APPS",
+    "AppModel",
+    "MultiprogrammedWorkload",
+    "RegionSpec",
+    "SyntheticWorkload",
+    "WorkloadSpec",
+    "make_mix",
+    "make_workload",
+    "private_block_address",
+    "shared_ro_block_address",
+    "shared_rw_block_address",
+    "tracefile",
+    "workload_spec",
+]

@@ -1,0 +1,104 @@
+"""Unit tests for the snoopy split-transaction bus."""
+
+import pytest
+
+from repro.interconnect.bus import (
+    BusOp,
+    BusTransaction,
+    SnoopBus,
+    SnoopReply,
+)
+
+
+class RecordingSnooper:
+    """Snooper returning a canned reply and logging what it saw."""
+
+    def __init__(self, reply=None):
+        self.reply = reply or SnoopReply()
+        self.seen = []
+
+    def snoop(self, txn):
+        self.seen.append(txn)
+        return self.reply
+
+
+class TestAttach:
+    def test_attach_and_count(self):
+        bus = SnoopBus(latency=32)
+        bus.attach(0, RecordingSnooper())
+        bus.attach(1, RecordingSnooper())
+        assert bus.num_agents == 2
+
+    def test_rejects_duplicate_core(self):
+        bus = SnoopBus(latency=32)
+        bus.attach(0, RecordingSnooper())
+        with pytest.raises(ValueError):
+            bus.attach(0, RecordingSnooper())
+
+
+class TestIssue:
+    def make_bus(self, replies):
+        bus = SnoopBus(latency=32)
+        snoopers = [RecordingSnooper(reply) for reply in replies]
+        for core, snooper in enumerate(snoopers):
+            bus.attach(core, snooper)
+        return bus, snoopers
+
+    def test_issuer_does_not_snoop_itself(self):
+        bus, snoopers = self.make_bus([SnoopReply(), SnoopReply()])
+        bus.issue(BusTransaction(BusOp.BUS_RD, 0x100, issuer=0))
+        assert snoopers[0].seen == []
+        assert len(snoopers[1].seen) == 1
+
+    def test_latency_charged(self):
+        bus, _ = self.make_bus([SnoopReply(), SnoopReply()])
+        result = bus.issue(BusTransaction(BusOp.BUS_RD, 0x100, issuer=0))
+        assert result.latency == 32
+
+    def test_shared_and_dirty_are_wired_or(self):
+        bus, _ = self.make_bus(
+            [SnoopReply(), SnoopReply(shared=True), SnoopReply(dirty=True)]
+        )
+        result = bus.issue(BusTransaction(BusOp.BUS_RD, 0x100, issuer=0))
+        assert result.shared
+        assert result.dirty
+
+    def test_no_signals_when_no_copies(self):
+        bus, _ = self.make_bus([SnoopReply(), SnoopReply()])
+        result = bus.issue(BusTransaction(BusOp.BUS_RD, 0x100, issuer=0))
+        assert not result.shared
+        assert not result.dirty
+        assert result.supplier is None
+
+    def test_single_supplier_identified(self):
+        bus, _ = self.make_bus(
+            [SnoopReply(), SnoopReply(supplies_data=True, dirty=True)]
+        )
+        result = bus.issue(BusTransaction(BusOp.BUS_RD, 0x100, issuer=0))
+        assert result.supplier == 1
+
+    def test_two_suppliers_is_protocol_error(self):
+        bus, _ = self.make_bus(
+            [
+                SnoopReply(),
+                SnoopReply(supplies_data=True),
+                SnoopReply(supplies_data=True),
+            ]
+        )
+        with pytest.raises(RuntimeError):
+            bus.issue(BusTransaction(BusOp.BUS_RD, 0x100, issuer=0))
+
+    def test_pointer_return_on_pointer_wires(self):
+        """Controlled replication returns a pointer, not data."""
+        pointer = ("dgroup-a", 7)
+        bus, _ = self.make_bus([SnoopReply(), SnoopReply(pointer=pointer)])
+        result = bus.issue(BusTransaction(BusOp.BUS_RD, 0x100, issuer=0))
+        assert result.pointer == pointer
+
+    def test_stats_record_transaction_kinds(self):
+        bus, _ = self.make_bus([SnoopReply(), SnoopReply()])
+        bus.issue(BusTransaction(BusOp.BUS_RD, 0x100, issuer=0))
+        bus.issue(BusTransaction(BusOp.BUS_REPL, 0x200, issuer=1))
+        assert bus.stats.transactions["BusRd"] == 1
+        assert bus.stats.transactions["BusRepl"] == 1
+        assert bus.stats.total == 2

@@ -1,0 +1,104 @@
+"""Tests for the text chart renderers."""
+
+import pytest
+
+from repro.experiments.charts import (
+    BarGroup,
+    StackedBar,
+    access_mix_chart,
+    performance_chart,
+    render_grouped_bars,
+    render_stacked_bars,
+)
+
+
+class TestStackedBars:
+    def test_full_bar_fills_width(self):
+        chart = render_stacked_bars([StackedBar("x", {"hit": 1.0})], width=20)
+        line = chart.splitlines()[0]
+        assert "#" * 20 in line
+
+    def test_half_bar_half_filled(self):
+        chart = render_stacked_bars([StackedBar("x", {"hit": 0.5})], width=20)
+        body = chart.splitlines()[0].split("|")[1]
+        assert body.count("#") == 10
+        assert body.count(".") == 10
+
+    def test_segments_use_distinct_characters(self):
+        chart = render_stacked_bars(
+            [StackedBar("x", {"a": 0.5, "b": 0.5})], width=20
+        )
+        body = chart.splitlines()[0].split("|")[1]
+        assert body.count("#") == 10
+        assert body.count("x") == 10
+
+    def test_baseline_truncates_like_the_paper(self):
+        """A 50% baseline makes 75% hits render as half a bar."""
+        chart = render_stacked_bars(
+            [StackedBar("x", {"hit": 0.75})], width=20, baseline=0.5
+        )
+        body = chart.splitlines()[0].split("|")[1]
+        assert body.count("#") == 10
+        assert "start at 50%" in chart
+
+    def test_legend_present(self):
+        chart = render_stacked_bars([StackedBar("x", {"hit": 1.0})])
+        assert "#=hit" in chart
+
+    def test_values_annotated(self):
+        chart = render_stacked_bars([StackedBar("x", {"hit": 0.831})])
+        assert "hit 83.1%" in chart
+
+    def test_labels_aligned(self):
+        chart = render_stacked_bars(
+            [
+                StackedBar("short", {"a": 1.0}),
+                StackedBar("much-longer-label", {"a": 1.0}),
+            ]
+        )
+        lines = chart.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_empty_input(self):
+        assert render_stacked_bars([]) == "(no data)"
+
+    def test_bad_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            render_stacked_bars([StackedBar("x", {"a": 1.0})], baseline=1.0)
+
+
+class TestGroupedBars:
+    def test_reference_tick_rendered(self):
+        chart = render_grouped_bars(
+            [BarGroup("w", {"a": 1.0, "b": 1.2})], width=24
+        )
+        assert "|" in chart
+        assert "1.000" in chart and "1.200" in chart
+
+    def test_bars_proportional(self):
+        chart = render_grouped_bars(
+            [BarGroup("w", {"a": 1.0, "b": 2.0})], width=20, reference=None
+        )
+        lines = [l for l in chart.splitlines() if "#" in l]
+        assert lines[1].count("#") == 2 * lines[0].count("#")
+
+    def test_empty_input(self):
+        assert render_grouped_bars([]) == "(no data)"
+
+
+class TestExperimentAdapters:
+    def test_access_mix_chart(self):
+        distributions = {
+            "oltp": {
+                "private": {"hit": 0.8, "ros": 0.05, "rws": 0.1, "capacity": 0.05}
+            }
+        }
+        chart = access_mix_chart(distributions, ("private",))
+        assert "oltp/private" in chart
+        assert "hit 80.0%" in chart
+
+    def test_performance_chart(self):
+        relative = {"oltp": {"shared": 1.0, "cmp-nurapid": 1.13}}
+        chart = performance_chart(relative, ("shared", "cmp-nurapid"))
+        assert "oltp:" in chart
+        assert "1.130" in chart

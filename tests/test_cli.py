@@ -1,0 +1,135 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        args_dict = vars(args)
+        assert args_dict["design"] == "cmp-nurapid"
+        assert args_dict["workload"] is None  # resolved to oltp at use time
+
+    def test_mix_and_workload_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--workload", "oltp", "--mix", "MIX1"]
+            )
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--design", "no-such-cache"])
+
+
+class TestCommands:
+    def test_latency_prints_table1(self, capsys):
+        code, out = run_cli(capsys, "latency")
+        assert code == 0
+        assert "shared 8MB 32-way total" in out
+        assert "59" in out
+
+    def test_run_small(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "run",
+            "--design",
+            "uniform-shared",
+            "--accesses",
+            "1500",
+            "--warmup",
+            "1500",
+        )
+        assert code == 0
+        assert "throughput" in out
+
+    def test_run_with_chart(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "run",
+            "--design",
+            "cmp-nurapid",
+            "--accesses",
+            "1500",
+            "--warmup",
+            "0",
+            "--chart",
+        )
+        assert code == 0
+        assert "legend" in out
+        assert "d-group accesses" in out
+
+    def test_compare_two_designs(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "compare",
+            "--designs",
+            "uniform-shared",
+            "ideal",
+            "--accesses",
+            "1500",
+            "--warmup",
+            "0",
+        )
+        assert code == 0
+        assert "uniform-shared" in out and "ideal" in out
+
+    def test_compare_on_mix(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "compare",
+            "--designs",
+            "uniform-shared",
+            "private",
+            "--mix",
+            "MIX4",
+            "--accesses",
+            "1500",
+            "--warmup",
+            "0",
+        )
+        assert code == 0
+        assert "MIX4" in out
+
+    def test_experiment_table1(self, capsys):
+        code, out = run_cli(capsys, "experiment", "table1")
+        assert code == 0
+        assert "Table 1" in out
+
+    def test_experiment_unknown(self, capsys):
+        code = main(["experiment", "fig99"])
+        assert code == 2
+
+    def test_trace_roundtrip(self, tmp_path, capsys):
+        trace = tmp_path / "t.txt"
+        code, out = run_cli(
+            capsys,
+            "trace",
+            "generate",
+            "--workload",
+            "barnes",
+            "--accesses",
+            "400",
+            "--warmup",
+            "0",
+            "--out",
+            str(trace),
+        )
+        assert code == 0
+        assert "wrote" in out
+        code, out = run_cli(
+            capsys, "trace", "run", str(trace), "--design", "private"
+        )
+        assert code == 0
+        assert "throughput" in out

@@ -1,0 +1,45 @@
+"""Unit tests for the tag-to-d-group crossbar."""
+
+import pytest
+
+from repro.interconnect.crossbar import Crossbar
+from repro.latency.tables import nurapid_dgroup_latencies
+
+
+def make_crossbar() -> Crossbar:
+    return Crossbar(nurapid_dgroup_latencies(4, 4))
+
+
+class TestAccess:
+    def test_returns_table1_latency(self):
+        crossbar = make_crossbar()
+        assert crossbar.access(0, 0) == 6
+        assert crossbar.access(0, 3) == 33
+
+    def test_latency_symmetry(self):
+        """Each core sees the Table 1 latency profile (6, 20, 20, 33)."""
+        crossbar = make_crossbar()
+        for core in range(4):
+            latencies = sorted(crossbar.access(core, g) for g in range(4))
+            assert latencies == [6, 20, 20, 33]
+
+    def test_traffic_counting(self):
+        crossbar = make_crossbar()
+        crossbar.access(1, 2)
+        crossbar.access(1, 2)
+        crossbar.access(3, 2)
+        assert crossbar.link_traffic(1, 2) == 2
+        assert crossbar.dgroup_traffic(2) == 3
+        assert crossbar.dgroup_traffic(0) == 0
+
+    def test_bounds_checking(self):
+        crossbar = make_crossbar()
+        with pytest.raises(IndexError):
+            crossbar.access(4, 0)
+        with pytest.raises(IndexError):
+            crossbar.access(0, 4)
+
+    def test_shape_properties(self):
+        crossbar = make_crossbar()
+        assert crossbar.num_cores == 4
+        assert crossbar.num_dgroups == 4

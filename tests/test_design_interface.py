@@ -1,0 +1,91 @@
+"""Tests for the shared L2Design interface contract."""
+
+import pytest
+
+from repro.caches.design import L2Design
+from repro.common.types import Access, AccessResult, AccessType, MissClass
+from repro.experiments.runner import DESIGN_FACTORIES
+
+
+class _StubDesign(L2Design):
+    """Minimal concrete design for exercising the base class."""
+
+    name = "stub"
+
+    def __init__(self):
+        super().__init__(block_size=128)
+        self.invalidation_requests = []
+
+    def _access(self, access):
+        return AccessResult(MissClass.HIT, 1)
+
+    def invalidate_everywhere(self, address, cores):
+        self._invalidate_all_l1(address, cores)
+
+    def invalidate_one(self, core, address):
+        self._invalidate_l1(core, address)
+
+
+class TestBaseClass:
+    def test_access_records_stats(self):
+        design = _StubDesign()
+        design.access(Access(0, 0x100, AccessType.READ))
+        assert design.stats.total == 1
+        assert design.stats.hits == 1
+
+    def test_access_stores_virtual_time(self):
+        design = _StubDesign()
+        design.access(Access(0, 0x100, AccessType.READ), now=777)
+        assert design.current_time == 777
+
+    def test_reset_stats_clears_counts(self):
+        design = _StubDesign()
+        design.access(Access(0, 0x100, AccessType.READ))
+        design.reset_stats()
+        assert design.stats.total == 0
+
+    def test_l1_hook_optional(self):
+        design = _StubDesign()
+        design.invalidate_one(0, 0x100)  # no hook registered: no crash
+
+    def test_l1_hook_receives_block_aligned_addresses(self):
+        design = _StubDesign()
+        calls = []
+        design.set_l1_invalidate_hook(lambda core, addr: calls.append((core, addr)))
+        design.invalidate_one(2, 0x1234)
+        assert calls == [(2, 0x1200)]
+
+    def test_invalidate_all_skips_excepted_core(self):
+        design = _StubDesign()
+        calls = []
+        design.set_l1_invalidate_hook(lambda core, addr: calls.append(core))
+        design.invalidate_everywhere(0x100, 4)
+        assert calls == [0, 1, 2, 3]
+
+
+class TestRegistryContract:
+    """Every registered design obeys the interface conventions."""
+
+    @pytest.mark.parametrize("name", sorted(DESIGN_FACTORIES))
+    def test_name_and_block_size(self, name):
+        design = DESIGN_FACTORIES[name]()
+        assert design.block_size == 128
+        assert design.name
+        assert design.stats.total == 0
+
+    @pytest.mark.parametrize("name", sorted(DESIGN_FACTORIES))
+    def test_read_then_reread_hits(self, name):
+        design = DESIGN_FACTORIES[name]()
+        address = 0x7000
+        first = design.access(Access(0, address, AccessType.READ))
+        assert first.miss_class is MissClass.CAPACITY
+        second = design.access(Access(0, address, AccessType.READ))
+        assert second.is_hit
+        assert second.latency < first.latency
+
+    @pytest.mark.parametrize("name", sorted(DESIGN_FACTORIES))
+    def test_reset_stats_everywhere(self, name):
+        design = DESIGN_FACTORIES[name]()
+        design.access(Access(0, 0x7000, AccessType.READ))
+        design.reset_stats()
+        assert design.stats.total == 0

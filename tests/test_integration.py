@@ -1,0 +1,146 @@
+"""End-to-end integration tests across designs and workloads.
+
+These run moderately sized traces (tens of thousands of accesses) and
+assert the *qualitative* relationships the paper's mechanisms create.
+Thresholds are deliberately loose — the benchmark harness, not the test
+suite, checks quantitative agreement with the paper.
+"""
+
+import itertools
+
+import pytest
+
+from repro.common.types import MissClass
+from repro.core.nurapid import NurapidCache
+from repro.cpu.system import CmpSystem
+from repro.experiments.runner import DESIGN_FACTORIES, build_design
+from repro.workloads.multiprogrammed import make_mix
+from repro.workloads.multithreaded import make_workload
+
+
+def run(design_name, workload, per_core=15_000):
+    design = build_design(design_name)
+    system = CmpSystem(design)
+    events = workload.events(accesses_per_core=2 * per_core)
+    system.run(itertools.islice(events, per_core * 4))
+    system.reset_stats()
+    system.run(events)
+    return design, system.stats()
+
+
+@pytest.fixture(scope="module")
+def oltp_stats():
+    workload_for = lambda: make_workload("oltp")  # noqa: E731
+    return {
+        name: run(name, workload_for())[1]
+        for name in (
+            "uniform-shared",
+            "private",
+            "cmp-nurapid",
+            "ideal",
+            "non-uniform-shared",
+        )
+    }
+
+
+class TestOltpRelationships:
+    def test_all_designs_see_identical_demand(self, oltp_stats):
+        """Same trace, same L1s: every design sees about the same
+        number of L2 *load* accesses (write-through designs add store
+        traffic)."""
+        shared = oltp_stats["uniform-shared"].accesses.total
+        private = oltp_stats["private"].accesses.total
+        assert private == shared
+
+    def test_shared_cache_has_no_sharing_misses(self, oltp_stats):
+        acc = oltp_stats["uniform-shared"].accesses
+        assert acc.fraction(MissClass.ROS) == 0.0
+        assert acc.fraction(MissClass.RWS) == 0.0
+
+    def test_private_pays_sharing_misses(self, oltp_stats):
+        acc = oltp_stats["private"].accesses
+        assert acc.fraction(MissClass.ROS) > 0.0
+        assert acc.fraction(MissClass.RWS) > 0.0
+
+    def test_cr_reduces_ros_misses(self, oltp_stats):
+        nurapid = oltp_stats["cmp-nurapid"].accesses
+        private = oltp_stats["private"].accesses
+        assert nurapid.fraction(MissClass.ROS) < private.fraction(MissClass.ROS)
+
+    def test_isc_reduces_rws_misses(self, oltp_stats):
+        nurapid = oltp_stats["cmp-nurapid"].accesses
+        private = oltp_stats["private"].accesses
+        assert nurapid.fraction(MissClass.RWS) < private.fraction(MissClass.RWS)
+
+    def test_ideal_is_fastest(self, oltp_stats):
+        ideal = oltp_stats["ideal"].throughput
+        for name, stats in oltp_stats.items():
+            assert ideal >= stats.throughput * 0.999
+
+    def test_every_design_beats_uniform_shared(self, oltp_stats):
+        base = oltp_stats["uniform-shared"].throughput
+        for name in ("non-uniform-shared", "private", "cmp-nurapid"):
+            assert oltp_stats[name].throughput > base
+
+    def test_nurapid_invariants_after_full_run(self):
+        design, _ = run("cmp-nurapid", make_workload("oltp"), per_core=8_000)
+        assert isinstance(design, NurapidCache)
+        design.check_invariants()
+
+
+class TestScientificWorkloads:
+    def test_barnes_private_close_to_nurapid(self):
+        """Little sharing: private caches and CMP-NuRAPID converge."""
+        _, private = run("private", make_workload("barnes"))
+        _, nurapid = run("cmp-nurapid", make_workload("barnes"))
+        ratio = nurapid.throughput / private.throughput
+        assert 0.9 < ratio < 1.15
+
+
+class TestMultiprogrammed:
+    def test_capacity_stealing_beats_private_on_skewed_demand(self):
+        """A scaled-down MIX1: one core's working set overflows its
+        private share while a neighbour's is tiny.  Capacity stealing
+        must turn the overflow into neighbour-d-group hits instead of
+        off-chip misses."""
+        from repro.caches.private import PrivateCaches
+        from repro.common.params import KB, CacheGeometry, NurapidParams, PrivateCacheParams
+        from repro.common.types import Access, AccessType
+
+        private = PrivateCaches(
+            PrivateCacheParams(geometry=CacheGeometry(16 * KB, 4, 128))
+        )
+        # Same per-core share: 16 KB d-groups (128 frames).
+        nurapid = NurapidCache(
+            NurapidParams(dgroup_capacity_bytes=16 * KB, tag_associativity=4)
+        )
+        big, small = 200, 16  # core 0 overflows 128 frames; core 1 idles
+        for _ in range(3):
+            for i in range(big):
+                for design in (private, nurapid):
+                    design.access(Access(0, 0x100000 + i * 128, AccessType.READ))
+                    design.access(
+                        Access(1, 0x900000 + (i % small) * 128, AccessType.READ)
+                    )
+        # Measure a further pass.
+        private.reset_stats()
+        nurapid.reset_stats()
+        for i in range(big):
+            for design in (private, nurapid):
+                design.access(Access(0, 0x100000 + i * 128, AccessType.READ))
+        assert nurapid.stats.miss_rate < private.stats.miss_rate
+        nurapid.check_invariants()
+
+    def test_no_sharing_misses_in_mixes(self):
+        _, stats = run("private", make_mix("MIX4"), per_core=10_000)
+        acc = stats.accesses
+        assert acc.fraction(MissClass.ROS) == 0.0
+        assert acc.fraction(MissClass.RWS) == 0.0
+
+
+class TestAllDesignsRunAllWorkloads:
+    @pytest.mark.parametrize("design_name", sorted(DESIGN_FACTORIES))
+    def test_design_completes_apache(self, design_name):
+        _, stats = run(design_name, make_workload("apache"), per_core=4_000)
+        assert stats.accesses.total > 0
+        assert stats.throughput > 0

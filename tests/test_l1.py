@@ -1,0 +1,112 @@
+"""Unit tests for the per-core L1 cache."""
+
+from repro.caches.l1 import L1Cache
+from repro.common.params import KB, CacheGeometry, L1Params
+
+
+def make_l1() -> L1Cache:
+    return L1Cache(L1Params(geometry=CacheGeometry(4 * KB, 2, 64), latency=3))
+
+
+class TestLoads:
+    def test_load_miss_then_fill_then_hit(self):
+        l1 = make_l1()
+        assert not l1.load(0x1000)
+        l1.fill(0x1000)
+        assert l1.load(0x1000)
+        assert l1.stats.load_misses == 1
+        assert l1.stats.load_hits == 1
+
+    def test_load_does_not_autofill(self):
+        l1 = make_l1()
+        l1.load(0x1000)
+        assert not l1.probe(0x1000)
+
+
+class TestStores:
+    def test_store_miss(self):
+        l1 = make_l1()
+        assert not l1.store(0x2000)
+        assert l1.stats.store_misses == 1
+
+    def test_store_without_permission_is_upgrade(self):
+        l1 = make_l1()
+        l1.fill(0x2000, writable=False)
+        assert not l1.store(0x2000)
+        assert l1.stats.store_upgrades == 1
+
+    def test_store_with_permission_completes_locally(self):
+        l1 = make_l1()
+        l1.fill(0x2000, writable=True)
+        assert l1.store(0x2000)
+        assert l1.stats.store_hits == 1
+
+    def test_revoke_writable_forces_next_store_down(self):
+        l1 = make_l1()
+        l1.fill(0x2000, writable=True)
+        assert l1.store(0x2000)
+        l1.revoke_writable(0x2000)
+        assert not l1.store(0x2000)
+
+    def test_write_through_blocks_never_writable(self):
+        """CMP-NuRAPID C blocks: every store must reach the L2."""
+        l1 = make_l1()
+        l1.fill(0x2000, writable=False)
+        for _ in range(3):
+            assert not l1.store(0x2000)
+        assert l1.stats.store_upgrades == 3
+
+
+class TestInvalidation:
+    def test_invalidate_present_block(self):
+        l1 = make_l1()
+        l1.fill(0x3000)
+        assert l1.invalidate(0x3000)
+        assert not l1.probe(0x3000)
+        assert l1.stats.invalidations == 1
+
+    def test_invalidate_absent_block_is_noop(self):
+        l1 = make_l1()
+        assert not l1.invalidate(0x3000)
+        assert l1.stats.invalidations == 0
+
+    def test_dirty_invalidation_counts_writeback(self):
+        l1 = make_l1()
+        l1.fill(0x3000, writable=True)
+        l1.store(0x3000)
+        l1.invalidate(0x3000)
+        assert l1.stats.writebacks == 1
+
+    def test_inclusion_covers_both_halves_of_l2_block(self):
+        """A 128 B L2 block spans two 64 B L1 blocks."""
+        l1 = make_l1()
+        l1.fill(0x4000)
+        l1.fill(0x4040)
+        count = l1.invalidate_l2_block(0x4000, 128)
+        assert count == 2
+        assert not l1.probe(0x4000)
+        assert not l1.probe(0x4040)
+
+    def test_inclusion_with_misaligned_address(self):
+        l1 = make_l1()
+        l1.fill(0x4000)
+        assert l1.invalidate_l2_block(0x4040, 128) == 1
+
+
+class TestEviction:
+    def test_conflict_eviction_writes_back_dirty(self):
+        l1 = make_l1()
+        geometry = l1.params.geometry
+        step = geometry.num_sets * geometry.block_size
+        l1.fill(0, writable=True)
+        l1.store(0)
+        l1.fill(step)
+        l1.fill(2 * step)  # 2-way set now evicts the dirty block
+        assert l1.stats.writebacks == 1
+
+    def test_miss_rate(self):
+        l1 = make_l1()
+        l1.load(0x100)
+        l1.fill(0x100)
+        l1.load(0x100)
+        assert l1.stats.miss_rate == 0.5

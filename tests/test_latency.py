@@ -1,0 +1,144 @@
+"""Tests for the latency tables and the Cacti-style derivation."""
+
+import math
+
+import pytest
+
+from repro.common.params import MB, CacheGeometry
+from repro.experiments.table1_latencies import check_derivation
+from repro.latency import cacti, tables
+
+
+class TestTable1Constants:
+    def test_published_totals(self):
+        assert tables.SHARED_TOTAL_LATENCY == 59
+        assert tables.PRIVATE_TOTAL_LATENCY == 10
+        assert tables.NURAPID_TAG_LATENCY == 5
+        assert tables.NURAPID_DGROUP_LATENCIES_SORTED == (6, 20, 20, 33)
+        assert tables.BUS_LATENCY == 32
+
+    def test_table1_rows_complete(self):
+        rows = tables.table1_rows()
+        components = [row.component for row in rows]
+        assert any("bus" in c for c in components)
+        assert sum(1 for c in components if "d-group" in c) == 4
+
+
+class TestDgroupPreferences:
+    def test_matches_figure1_for_four_cores(self):
+        prefs = tables.dgroup_preferences(4, 4)
+        assert prefs == (
+            (0, 1, 2, 3),
+            (1, 3, 0, 2),
+            (2, 0, 3, 1),
+            (3, 2, 1, 0),
+        )
+
+    def test_every_rank_level_is_a_permutation(self):
+        """Staggering: at each rank, cores prefer distinct d-groups."""
+        prefs = tables.dgroup_preferences(4, 4)
+        for rank in range(4):
+            assert sorted(prefs[core][rank] for core in range(4)) == [0, 1, 2, 3]
+
+    def test_own_dgroup_first(self):
+        prefs = tables.dgroup_preferences(4, 4)
+        for core in range(4):
+            assert prefs[core][0] == core
+
+    def test_generalized_latin_square(self):
+        prefs = tables.dgroup_preferences(8, 8)
+        for rank in range(8):
+            assert sorted(p[rank] for p in prefs) == list(range(8))
+
+    def test_rejects_mismatched_counts(self):
+        with pytest.raises(ValueError):
+            tables.dgroup_preferences(4, 8)
+
+
+class TestNurapidLatencies:
+    def test_matches_table1_per_core(self):
+        matrix = tables.nurapid_dgroup_latencies(4, 4)
+        for core in range(4):
+            assert sorted(matrix[core]) == [6, 20, 20, 33]
+
+    def test_own_dgroup_is_closest(self):
+        matrix = tables.nurapid_dgroup_latencies(4, 4)
+        for core in range(4):
+            assert matrix[core][core] == 6
+
+    def test_diagonal_partner_is_farthest(self):
+        matrix = tables.nurapid_dgroup_latencies(4, 4)
+        for core in range(4):
+            assert matrix[core][3 - core] == 33
+
+    def test_farthest_matches_least_preferred(self):
+        """Figure 1's last-preference column is the 33-cycle d-group."""
+        matrix = tables.nurapid_dgroup_latencies(4, 4)
+        prefs = tables.dgroup_preferences(4, 4)
+        for core in range(4):
+            assert matrix[core][prefs[core][-1]] == 33
+
+
+class TestSnucaLatencies:
+    def test_shape(self):
+        matrix = tables.snuca_bank_latencies(4, 16)
+        assert len(matrix) == 4
+        assert all(len(row) == 16 for row in matrix)
+
+    def test_nonuniform_and_bounded(self):
+        matrix = tables.snuca_bank_latencies(4, 16)
+        for row in matrix:
+            assert min(row) < max(row)  # genuinely non-uniform
+            assert min(row) >= 10
+            assert max(row) <= tables.SHARED_TOTAL_LATENCY
+
+    def test_average_between_private_and_shared(self):
+        """SNUCA sits between the private and uniform-shared latencies."""
+        matrix = tables.snuca_bank_latencies(4, 16)
+        average = sum(sum(row) for row in matrix) / (4 * 16)
+        assert tables.PRIVATE_TOTAL_LATENCY < average < tables.SHARED_TOTAL_LATENCY
+
+    def test_rejects_non_square_bank_count(self):
+        with pytest.raises(ValueError):
+            tables.snuca_bank_latencies(4, 8)
+
+
+class TestCactiModel:
+    def test_derivation_matches_table1(self):
+        check_derivation(tolerance_cycles=2)
+
+    def test_access_time_cycles_round_up(self):
+        access = cacti.AccessTime(array_ps=150.0, wire_ps=100.0)
+        assert access.total_ps == 250.0
+        assert access.cycles == 2  # 250 ps at 200 ps/cycle
+
+    def test_bigger_arrays_are_slower(self):
+        small = cacti.best_array_delay_ps(1 * MB * 8)
+        large = cacti.best_array_delay_ps(8 * MB * 8)
+        assert large > small
+
+    def test_tag_arrays_pay_comparator(self):
+        bits = 64 * 1024 * 8
+        assert cacti.best_array_delay_ps(bits, is_tag=True) > (
+            cacti.best_array_delay_ps(bits, is_tag=False)
+        )
+
+    def test_wire_delay_proportional_to_route(self):
+        geometry = CacheGeometry(2 * MB, 8, 128)
+        near = cacti.data_array_access(geometry, route_mm=1.0)
+        far = cacti.data_array_access(geometry, route_mm=10.0)
+        assert far.wire_ps == pytest.approx(10 * near.wire_ps)
+        assert far.array_ps == near.array_ps
+
+    def test_area_scales_linearly(self):
+        assert cacti.array_area_mm2(2_000_000) == pytest.approx(
+            2 * cacti.array_area_mm2(1_000_000)
+        )
+
+    def test_structure_side_is_sqrt_of_area(self):
+        side = cacti.structure_side_mm(2 * MB)
+        assert side == pytest.approx(math.sqrt(cacti.array_area_mm2(2 * MB * 8)))
+
+    def test_rejects_empty_array(self):
+        with pytest.raises(ValueError):
+            cacti.best_array_delay_ps(0)

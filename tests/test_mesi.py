@@ -1,0 +1,114 @@
+"""Arc-by-arc tests of the MESI protocol engine against Figure 4a."""
+
+import pytest
+
+from repro.coherence import mesi
+from repro.coherence.states import MESI_STATES, CoherenceState
+from repro.interconnect.bus import BusOp
+
+M = CoherenceState.MODIFIED
+E = CoherenceState.EXCLUSIVE
+S = CoherenceState.SHARED
+I = CoherenceState.INVALID  # noqa: E741
+C = CoherenceState.COMMUNICATION
+
+
+class TestProcessorRead:
+    @pytest.mark.parametrize("state", [M, E, S])
+    def test_read_hits_self_loop(self, state):
+        action = mesi.processor_read(state)
+        assert action.next_state is state
+        assert action.bus_op is None
+
+    def test_read_miss_no_copy_goes_exclusive(self):
+        action = mesi.processor_read(I, shared_signal=False)
+        assert action.next_state is E
+        assert action.bus_op is BusOp.BUS_RD
+
+    def test_read_miss_with_copy_goes_shared(self):
+        action = mesi.processor_read(I, shared_signal=True)
+        assert action.next_state is S
+        assert action.bus_op is BusOp.BUS_RD
+
+    def test_rejects_communication_state(self):
+        with pytest.raises(ValueError):
+            mesi.processor_read(C)
+
+
+class TestProcessorWrite:
+    def test_write_hit_modified(self):
+        action = mesi.processor_write(M)
+        assert action.next_state is M
+        assert action.bus_op is None
+
+    def test_silent_exclusive_upgrade(self):
+        action = mesi.processor_write(E)
+        assert action.next_state is M
+        assert action.bus_op is None
+
+    def test_shared_upgrade_uses_bus_upg(self):
+        action = mesi.processor_write(S)
+        assert action.next_state is M
+        assert action.bus_op is BusOp.BUS_UPG
+
+    def test_write_miss_uses_bus_rdx(self):
+        action = mesi.processor_write(I)
+        assert action.next_state is M
+        assert action.bus_op is BusOp.BUS_RDX
+
+    def test_rejects_communication_state(self):
+        with pytest.raises(ValueError):
+            mesi.processor_write(C)
+
+
+class TestSnoop:
+    def test_invalid_ignores_everything(self):
+        for op in BusOp:
+            action = mesi.snoop(I, op)
+            assert action.next_state is I
+            assert not action.flush
+
+    def test_busrd_downgrades_modified_with_flush(self):
+        action = mesi.snoop(M, BusOp.BUS_RD)
+        assert action.next_state is S
+        assert action.flush
+
+    def test_busrd_downgrades_exclusive(self):
+        action = mesi.snoop(E, BusOp.BUS_RD)
+        assert action.next_state is S
+        assert action.flush
+
+    def test_busrd_keeps_shared(self):
+        action = mesi.snoop(S, BusOp.BUS_RD)
+        assert action.next_state is S
+
+    @pytest.mark.parametrize("state", [M, E, S])
+    def test_busrdx_invalidates(self, state):
+        action = mesi.snoop(state, BusOp.BUS_RDX)
+        assert action.next_state is I
+
+    def test_busupg_invalidates_shared(self):
+        action = mesi.snoop(S, BusOp.BUS_UPG)
+        assert action.next_state is I
+        assert not action.flush
+
+    @pytest.mark.parametrize("state", [M, E])
+    def test_busupg_while_exclusive_is_protocol_error(self, state):
+        with pytest.raises(RuntimeError):
+            mesi.snoop(state, BusOp.BUS_UPG)
+
+    @pytest.mark.parametrize("state", [M, E, S])
+    def test_busrepl_and_wrthru_ignored(self, state):
+        for op in (BusOp.BUS_REPL, BusOp.WR_THRU):
+            assert mesi.snoop(state, op).next_state is state
+
+
+class TestClosure:
+    def test_all_mesi_states_covered(self):
+        """Every (state, event) pair resolves to a MESI state."""
+        for state in MESI_STATES:
+            if state is not I:
+                assert mesi.processor_write(state).next_state in MESI_STATES
+            assert mesi.processor_read(state).next_state in MESI_STATES
+            for op in (BusOp.BUS_RD, BusOp.BUS_RDX):
+                assert mesi.snoop(state, op).next_state in MESI_STATES

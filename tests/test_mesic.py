@@ -1,0 +1,173 @@
+"""Arc-by-arc tests of the MESIC protocol engine against Figure 4b."""
+
+import pytest
+
+from repro.coherence import mesic
+from repro.coherence.mesic import DataAction, GlobalStateChecker
+from repro.coherence.states import MESIC_STATES, CoherenceState
+from repro.interconnect.bus import BusOp
+
+M = CoherenceState.MODIFIED
+E = CoherenceState.EXCLUSIVE
+S = CoherenceState.SHARED
+I = CoherenceState.INVALID  # noqa: E741
+C = CoherenceState.COMMUNICATION
+
+
+class TestProcessorRead:
+    @pytest.mark.parametrize("state", [M, E, S, C])
+    def test_read_hits_self_loop(self, state):
+        action = mesic.processor_read(state)
+        assert action.next_state is state
+        assert action.bus_ops == ()
+        assert action.data_action is DataAction.NONE
+
+    def test_miss_no_copy_fills_closest_exclusive(self):
+        action = mesic.processor_read(I)
+        assert action.next_state is E
+        assert action.bus_ops == (BusOp.BUS_RD,)
+        assert action.data_action is DataAction.FILL_CLOSEST
+
+    def test_miss_clean_copy_takes_pointer_only(self):
+        """Controlled replication: tag copy, no data copy (Figure 3b)."""
+        action = mesic.processor_read(I, shared_signal=True)
+        assert action.next_state is S
+        assert action.data_action is DataAction.POINTER_ONLY
+
+    def test_miss_dirty_copy_relocates_and_enters_c(self):
+        """ISC: the I->C arc; dirty signal wins over shared."""
+        action = mesic.processor_read(I, shared_signal=True, dirty_signal=True)
+        assert action.next_state is C
+        assert action.data_action is DataAction.RELOCATE
+
+
+class TestProcessorWrite:
+    def test_modified_write_in_place(self):
+        action = mesic.processor_write(M)
+        assert action.next_state is M
+        assert action.bus_ops == ()
+
+    def test_exclusive_silent_upgrade(self):
+        assert mesic.processor_write(E).next_state is M
+
+    def test_shared_upgrade(self):
+        action = mesic.processor_write(S)
+        assert action.next_state is M
+        assert action.bus_ops == (BusOp.BUS_UPG,)
+        assert action.data_action is DataAction.WRITE_IN_PLACE
+
+    def test_c_write_hits_stay_in_c_with_wrthru_and_busrdx(self):
+        """Section 3.2: write-through + BusRdX, no coherence miss."""
+        action = mesic.processor_write(C)
+        assert action.next_state is C
+        assert action.bus_ops == (BusOp.WR_THRU, BusOp.BUS_RDX)
+        assert action.data_action is DataAction.WRITE_IN_PLACE
+
+    def test_write_miss_on_dirty_joins_c_in_place(self):
+        """Figure 4b's I->C PrWr/BusRd,BusRdX arc: no new copy."""
+        action = mesic.processor_write(I, dirty_signal=True)
+        assert action.next_state is C
+        assert action.bus_ops == (BusOp.BUS_RD, BusOp.BUS_RDX)
+        assert action.data_action is DataAction.WRITE_IN_PLACE
+
+    def test_write_miss_on_clean_is_mesi_like(self):
+        action = mesic.processor_write(I, shared_signal=True)
+        assert action.next_state is M
+        assert action.bus_ops == (BusOp.BUS_RDX,)
+        assert action.data_action is DataAction.FILL_CLOSEST
+
+
+class TestSnoop:
+    def test_deleted_arc_x_modified_goes_to_c_not_s(self):
+        """The M->S arc of MESI does not exist in MESIC (arc x)."""
+        action = mesic.snoop(M, BusOp.BUS_RD)
+        assert action.next_state is C
+        assert action.flush
+        assert action.repoint
+
+    def test_c_holder_on_busrd_stays_c_and_repoints(self):
+        action = mesic.snoop(C, BusOp.BUS_RD)
+        assert action.next_state is C
+        assert action.repoint
+
+    @pytest.mark.parametrize("state", [E, S])
+    def test_clean_holders_supply_and_share(self, state):
+        action = mesic.snoop(state, BusOp.BUS_RD)
+        assert action.next_state is S
+        assert action.flush
+
+    def test_c_on_busrdx_invalidates_l1_only(self):
+        """Repeated writes to a C block: tag copies survive."""
+        action = mesic.snoop(C, BusOp.BUS_RDX)
+        assert action.next_state is C
+        assert action.invalidate_l1
+
+    @pytest.mark.parametrize("state", [E, S])
+    def test_clean_on_busrdx_invalidates(self, state):
+        assert mesic.snoop(state, BusOp.BUS_RDX).next_state is I
+
+    def test_shared_on_busupg_invalidates(self):
+        assert mesic.snoop(S, BusOp.BUS_UPG).next_state is I
+
+    @pytest.mark.parametrize("state", [M, E, C])
+    def test_busupg_against_dirty_or_exclusive_is_error(self, state):
+        with pytest.raises(RuntimeError):
+            mesic.snoop(state, BusOp.BUS_UPG)
+
+    def test_invalid_ignores_everything(self):
+        for op in BusOp:
+            assert mesic.snoop(I, op).next_state is I
+
+    @pytest.mark.parametrize("state", [M, E, S, C])
+    def test_busrepl_state_unchanged(self, state):
+        """Pointer-match invalidation is the controller's job."""
+        assert mesic.snoop(state, BusOp.BUS_REPL).next_state is state
+
+    def test_no_exit_from_c_except_replacement(self):
+        """Section 3.2: there are no transitions out of C other than
+        those due to replacements."""
+        assert mesic.processor_read(C).next_state is C
+        assert mesic.processor_write(C).next_state is C
+        for op in (BusOp.BUS_RD, BusOp.BUS_RDX, BusOp.WR_THRU, BusOp.BUS_REPL):
+            assert mesic.snoop(C, op).next_state is C
+
+
+class TestStateProperties:
+    def test_dirty_states(self):
+        assert M.is_dirty and C.is_dirty
+        assert not E.is_dirty and not S.is_dirty and not I.is_dirty
+
+    def test_exclusive_states(self):
+        assert M.is_exclusive and E.is_exclusive
+        assert not C.is_exclusive
+
+    def test_closure(self):
+        for state in MESIC_STATES:
+            assert mesic.processor_read(state).next_state in MESIC_STATES
+            assert mesic.processor_write(state).next_state in MESIC_STATES
+
+
+class TestGlobalStateChecker:
+    def setup_method(self):
+        self.checker = GlobalStateChecker()
+
+    def test_accepts_single_modified(self):
+        self.checker.check(0x100, [M, I, I, I])
+
+    def test_accepts_many_shared(self):
+        self.checker.check(0x100, [S, S, S, I])
+
+    def test_accepts_communication_group(self):
+        self.checker.check(0x100, [C, C, I, C])
+
+    def test_rejects_two_exclusive(self):
+        with pytest.raises(AssertionError):
+            self.checker.check(0x100, [M, M])
+
+    def test_rejects_exclusive_with_sharers(self):
+        with pytest.raises(AssertionError):
+            self.checker.check(0x100, [M, S])
+
+    def test_rejects_c_and_s_mix(self):
+        with pytest.raises(AssertionError):
+            self.checker.check(0x100, [C, S])

@@ -1,0 +1,201 @@
+"""Controlled-replication behaviour (Section 3.1, Figure 3)."""
+
+import pytest
+
+from repro.coherence.states import CoherenceState
+from repro.common.params import KB, NurapidParams
+from repro.common.types import Access, AccessType, MissClass
+from repro.core.nurapid import NurapidCache
+
+M = CoherenceState.MODIFIED
+E = CoherenceState.EXCLUSIVE
+S = CoherenceState.SHARED
+I = CoherenceState.INVALID  # noqa: E741
+C = CoherenceState.COMMUNICATION
+
+X = 0x10000  # block address used throughout
+
+
+def read(core, address=X):
+    return Access(core, address, AccessType.READ)
+
+
+def write(core, address=X):
+    return Access(core, address, AccessType.WRITE)
+
+
+def small_cache(**kwargs) -> NurapidCache:
+    params = NurapidParams(
+        dgroup_capacity_bytes=16 * KB,  # 128 frames per d-group
+        tag_associativity=4,
+        **kwargs.pop("params", {}),
+    )
+    return NurapidCache(params, **kwargs)
+
+
+class TestFigure3Walkthrough:
+    def test_a_first_fill_goes_to_closest_dgroup(self):
+        cache = small_cache()
+        result = cache.access(read(0))
+        assert result.miss_class is MissClass.CAPACITY
+        entry = cache.tags[0].lookup(X, touch=False)
+        assert entry.state is E
+        assert entry.fwd.dgroup == cache.closest(0)
+
+    def test_b_second_core_takes_pointer_not_copy(self):
+        """Figure 3b: P1's tag points at P0's copy; no data copy."""
+        cache = small_cache()
+        cache.access(read(0))
+        occupied_before = cache.data.total_occupied
+        result = cache.access(read(1))
+        assert result.miss_class is MissClass.ROS
+        assert cache.data.total_occupied == occupied_before  # no new copy
+        p0 = cache.tags[0].lookup(X, touch=False)
+        p1 = cache.tags[1].lookup(X, touch=False)
+        assert p0.state is S and p1.state is S
+        assert p1.fwd == p0.fwd  # both point at the single copy
+        assert cache.counters.pointer_returns == 1
+
+    def test_b_pointer_read_latency_uses_remote_dgroup(self):
+        cache = small_cache()
+        cache.access(read(0))
+        result = cache.access(read(1))
+        remote = cache.params.dgroup_latencies[1][cache.closest(0)]
+        assert result.latency == cache.params.tag_latency + cache.bus_latency + remote
+
+    def test_c_second_use_replicates_into_own_dgroup(self):
+        """Figure 3c: on reuse, P1 copies X into its closest d-group."""
+        cache = small_cache()
+        cache.access(read(0))
+        cache.access(read(1))
+        occupied_before = cache.data.total_occupied
+        result = cache.access(read(1))  # second use
+        assert result.is_hit
+        assert cache.data.total_occupied == occupied_before + 1
+        p1 = cache.tags[1].lookup(X, touch=False)
+        assert p1.fwd.dgroup == cache.closest(1)
+        # P0's original copy is untouched.
+        p0 = cache.tags[0].lookup(X, touch=False)
+        assert p0.fwd.dgroup == cache.closest(0)
+        assert p0.fwd != p1.fwd
+        assert cache.counters.replications == 1
+
+    def test_after_replication_hits_are_local(self):
+        cache = small_cache()
+        cache.access(read(0))
+        cache.access(read(1))
+        cache.access(read(1))
+        result = cache.access(read(1))
+        assert result.dgroup_distance == 0
+        assert result.latency == cache.params.tag_latency + 6
+
+    def test_reverse_pointer_stays_with_owner(self):
+        """Section 3.1: the reverse pointer keeps naming P0's tag."""
+        cache = small_cache()
+        cache.access(read(0))
+        cache.access(read(1))
+        p0 = cache.tags[0].lookup(X, touch=False)
+        frame = cache.data.frame(p0.fwd)
+        assert frame.rev == cache.tags[0].ptr_of(X, p0)
+
+
+class TestBusRepl:
+    def test_owner_eviction_invalidates_pointing_tags(self):
+        cache = small_cache()
+        cache.access(read(0))
+        cache.access(read(1))  # P1 points at P0's copy
+        p0 = cache.tags[0].lookup(X, touch=False)
+        cache._evict_frame(p0.fwd)
+        assert cache.state_of(0, X) is I
+        assert cache.state_of(1, X) is I
+        assert cache.bus_stats.transactions["BusRepl"] == 1
+
+    def test_sharer_with_own_replica_survives_busrepl(self):
+        """Section 3.1: a sharer whose pointer names its own replica
+        does not invalidate on BusRepl."""
+        cache = small_cache()
+        cache.access(read(0))
+        cache.access(read(1))
+        cache.access(read(1))  # P1 replicated
+        p0 = cache.tags[0].lookup(X, touch=False)
+        cache._evict_frame(p0.fwd)
+        assert cache.state_of(0, X) is I
+        assert cache.state_of(1, X) is S  # replica survives
+        cache.check_invariants()
+
+    def test_busy_tag_is_not_invalidated(self):
+        """The busy bit inhibits replacement invalidations mid-read."""
+        cache = small_cache()
+        cache.access(read(0))
+        cache.access(read(1))
+        p1 = cache.tags[1].lookup(X, touch=False)
+        p1.busy = True
+        p0 = cache.tags[0].lookup(X, touch=False)
+        cache._evict_frame(p0.fwd)
+        assert cache.state_of(1, X) is S  # protected by the busy bit
+        p1.busy = False
+
+
+class TestWriteUpgrades:
+    def test_upgrade_invalidates_other_tag_copies(self):
+        cache = small_cache()
+        cache.access(read(0))
+        cache.access(read(1))
+        result = cache.access(write(1))
+        assert result.is_hit
+        assert cache.state_of(1, X) is M
+        assert cache.state_of(0, X) is I
+        cache.check_invariants()
+
+    def test_upgrade_transfers_frame_ownership(self):
+        """P1 upgrades while pointing at P0's frame: the reverse
+        pointer must move to P1 or the frame would be freed under it."""
+        cache = small_cache()
+        cache.access(read(0))
+        cache.access(read(1))  # pointer only
+        cache.access(write(1))
+        p1 = cache.tags[1].lookup(X, touch=False)
+        frame = cache.data.frame(p1.fwd)
+        assert frame.rev == cache.tags[1].ptr_of(X, p1)
+        cache.check_invariants()
+
+    def test_upgrade_frees_other_replicas(self):
+        cache = small_cache()
+        cache.access(read(0))
+        cache.access(read(1))
+        cache.access(read(1))  # P1 has its own replica now
+        occupied = cache.data.total_occupied
+        cache.access(write(0))
+        # P1's replica frame is freed; only P0's copy remains.
+        assert cache.data.total_occupied == occupied - 1
+        assert cache.state_of(1, X) is I
+        cache.check_invariants()
+
+
+class TestControlledReplicationDisabled:
+    def test_immediate_copy_when_cr_off(self):
+        cache = small_cache(enable_cr=False)
+        cache.access(read(0))
+        occupied = cache.data.total_occupied
+        cache.access(read(1))
+        assert cache.data.total_occupied == occupied + 1  # eager replica
+        assert cache.counters.pointer_returns == 0
+
+    def test_replicate_on_first_use_param(self):
+        cache = small_cache(params={"replicate_on_use": 1})
+        cache.access(read(0))
+        occupied = cache.data.total_occupied
+        cache.access(read(1))
+        assert cache.data.total_occupied == occupied + 1
+
+
+class TestReplicationThreshold:
+    def test_replicate_on_third_use(self):
+        cache = small_cache(params={"replicate_on_use": 3})
+        cache.access(read(0))
+        cache.access(read(1))  # use 1: pointer only
+        occupied = cache.data.total_occupied
+        cache.access(read(1))  # use 2: still remote
+        assert cache.data.total_occupied == occupied
+        cache.access(read(1))  # use 3: replicate
+        assert cache.data.total_occupied == occupied + 1

@@ -1,0 +1,198 @@
+"""In-situ communication behaviour (Section 3.2, Figure 4b)."""
+
+from repro.coherence.states import CoherenceState
+from repro.common.params import KB, NurapidParams
+from repro.common.types import Access, AccessType, MissClass
+from repro.core.nurapid import NurapidCache
+
+M = CoherenceState.MODIFIED
+E = CoherenceState.EXCLUSIVE
+S = CoherenceState.SHARED
+I = CoherenceState.INVALID  # noqa: E741
+C = CoherenceState.COMMUNICATION
+
+X = 0x20000
+
+
+def read(core, address=X):
+    return Access(core, address, AccessType.READ)
+
+
+def write(core, address=X):
+    return Access(core, address, AccessType.WRITE)
+
+
+def small_cache(**kwargs) -> NurapidCache:
+    params = NurapidParams(
+        dgroup_capacity_bytes=16 * KB,
+        tag_associativity=4,
+        **kwargs.pop("params", {}),
+    )
+    return NurapidCache(params, **kwargs)
+
+
+class TestRelocationOnReadMiss:
+    def test_reader_relocates_dirty_copy(self):
+        """Read miss on a dirty block: the single copy moves next to
+        the reader and everyone enters C."""
+        cache = small_cache()
+        cache.access(write(0))
+        assert cache.state_of(0, X) is M
+        result = cache.access(read(1))
+        assert result.miss_class is MissClass.RWS
+        assert cache.state_of(0, X) is C
+        assert cache.state_of(1, X) is C
+        p1 = cache.tags[1].lookup(X, touch=False)
+        assert p1.fwd.dgroup == cache.closest(1)
+        assert cache.counters.relocations == 1
+
+    def test_single_copy_after_relocation(self):
+        cache = small_cache()
+        cache.access(write(0))
+        cache.access(read(1))
+        assert len(list(cache.data.frames_holding(X))) == 1
+        p0 = cache.tags[0].lookup(X, touch=False)
+        p1 = cache.tags[1].lookup(X, touch=False)
+        assert p0.fwd == p1.fwd  # everyone repointed
+        cache.check_invariants()
+
+    def test_new_reader_relocates_again(self):
+        cache = small_cache()
+        cache.access(write(0))
+        cache.access(read(1))
+        cache.access(read(2))
+        p2 = cache.tags[2].lookup(X, touch=False)
+        assert p2.fwd.dgroup == cache.closest(2)
+        for core in range(3):
+            assert cache.state_of(core, X) is C
+        assert len(list(cache.data.frames_holding(X))) == 1
+        cache.check_invariants()
+
+
+class TestCStateHits:
+    def test_no_coherence_miss_after_write(self):
+        """The whole point of ISC: reads after writes hit in the tag."""
+        cache = small_cache()
+        cache.access(write(0))
+        cache.access(read(1))   # joins C
+        cache.access(write(0))  # write in place
+        result = cache.access(read(1))
+        assert result.is_hit   # no RWS miss!
+
+    def test_c_write_is_in_place_and_write_through(self):
+        cache = small_cache()
+        cache.access(write(0))
+        cache.access(read(1))
+        occupied = cache.data.total_occupied
+        result = cache.access(write(0))
+        assert result.is_hit
+        assert result.write_through  # L1 must write through C blocks
+        assert cache.data.total_occupied == occupied  # no new copy
+        assert cache.state_of(0, X) is C
+
+    def test_c_write_invalidates_other_l1_copies(self):
+        """BusRdX on every C write: sharers drop stale L1 copies but
+        keep their tag copies in C."""
+        cache = small_cache()
+        invalidated = []
+        cache.set_l1_invalidate_hook(lambda core, a: invalidated.append((core, a)))
+        cache.access(write(0))
+        cache.access(read(1))
+        invalidated.clear()
+        cache.access(write(0))
+        assert (1, X) in invalidated
+        assert cache.state_of(1, X) is C  # tag copy survives
+
+    def test_writer_reaches_into_farther_dgroup(self):
+        """Figure 9: the copy stays close to the reader; the writer
+        pays a farther d-group access on every write."""
+        cache = small_cache()
+        cache.access(write(0))
+        cache.access(read(1))  # copy relocated next to P1
+        result = cache.access(write(0))
+        assert result.dgroup_distance == 1
+        expected = cache.params.tag_latency + cache.params.dgroup_latencies[0][
+            cache.closest(1)
+        ]
+        assert result.latency == expected
+
+    def test_no_exits_from_c(self):
+        """Section 3.2: reads, writes, and snoops never leave C."""
+        cache = small_cache()
+        cache.access(write(0))
+        cache.access(read(1))
+        for access in (read(0), write(0), read(1), write(1)):
+            cache.access(access)
+            assert cache.state_of(access.core, X) is C
+        cache.check_invariants()
+
+
+class TestWriteMissJoinsC:
+    def test_writer_joins_without_copying(self):
+        """Figure 4b's I->C write arc: write the existing copy in
+        place so it stays close to the readers."""
+        cache = small_cache()
+        cache.access(write(0))
+        cache.access(read(1))   # copy now next to P1
+        occupied = cache.data.total_occupied
+        result = cache.access(write(2))
+        assert result.miss_class is MissClass.RWS
+        assert cache.data.total_occupied == occupied  # no new copy
+        p1 = cache.tags[1].lookup(X, touch=False)
+        p2 = cache.tags[2].lookup(X, touch=False)
+        assert p2.fwd == p1.fwd  # copy stayed close to the reader
+        assert cache.state_of(2, X) is C
+        cache.check_invariants()
+
+    def test_m_holder_joins_c_on_write_miss(self):
+        cache = small_cache()
+        cache.access(write(0))
+        cache.access(write(1))
+        assert cache.state_of(0, X) is C
+        assert cache.state_of(1, X) is C
+        assert len(list(cache.data.frames_holding(X))) == 1
+
+
+class TestIscDisabled:
+    def test_read_of_dirty_flushes_to_shared(self):
+        """Without ISC the MESI arc x returns: M -> S on BusRd."""
+        cache = small_cache(enable_isc=False)
+        cache.access(write(0))
+        result = cache.access(read(1))
+        assert result.miss_class is MissClass.RWS
+        assert cache.state_of(0, X) is S
+        assert cache.state_of(1, X) is S
+        assert cache.counters.relocations == 0
+
+    def test_write_miss_invalidates_dirty_holder(self):
+        cache = small_cache(enable_isc=False)
+        cache.access(write(0))
+        cache.access(write(1))
+        assert cache.state_of(0, X) is I
+        assert cache.state_of(1, X) is M
+        assert len(list(cache.data.frames_holding(X))) == 1
+        cache.check_invariants()
+
+    def test_repeated_communication_keeps_missing(self):
+        """Without ISC, write-then-read ping-pongs through misses —
+        the pathology ISC removes."""
+        cache = small_cache(enable_isc=False)
+        cache.access(write(0))
+        cache.access(read(1))
+        cache.access(write(0))  # upgrade invalidates P1
+        result = cache.access(read(1))
+        assert result.miss_class is MissClass.RWS
+
+
+class TestSharedDataArrayCapacity:
+    def test_communication_uses_one_frame_not_four(self):
+        """With 4 sharers, ISC still holds exactly one data copy;
+        private caches would hold four."""
+        cache = small_cache()
+        cache.access(write(0))
+        for core in (1, 2, 3):
+            cache.access(read(core))
+        assert len(list(cache.data.frames_holding(X))) == 1
+        for core in range(4):
+            assert cache.state_of(core, X) is C
+        cache.check_invariants()

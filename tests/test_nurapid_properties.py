@@ -1,0 +1,149 @@
+"""Property-based tests: CMP-NuRAPID invariants under random traffic.
+
+Hypothesis drives random multi-core access sequences against a small
+CMP-NuRAPID instance and checks the controller's global invariants
+(pointer integrity, coherence exclusivity, single-dirty-copy) after
+the sequence — and, for shorter sequences, after every step.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coherence.states import CoherenceState
+from repro.common.params import KB, NurapidParams
+from repro.common.types import Access, AccessType
+from repro.core.nurapid import NurapidCache
+
+
+def tiny_cache(enable_cr=True, enable_isc=True, seed=7) -> NurapidCache:
+    params = NurapidParams(
+        dgroup_capacity_bytes=4 * KB,  # 32 frames per d-group
+        tag_associativity=2,
+    )
+    return NurapidCache(params, enable_cr=enable_cr, enable_isc=enable_isc, seed=seed)
+
+
+#: (core, block, is_write) triples over a small block universe so the
+#: tiny cache sees heavy sharing, replacement, and demotion traffic.
+access_steps = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=0, max_value=96),
+        st.booleans(),
+    ),
+    min_size=1,
+    max_size=400,
+)
+
+
+def drive(cache: NurapidCache, steps) -> None:
+    for core, block, is_write in steps:
+        access_type = AccessType.WRITE if is_write else AccessType.READ
+        cache.access(Access(core, 0x40000 + block * 128, access_type))
+
+
+@settings(max_examples=50, deadline=None)
+@given(steps=access_steps)
+def test_invariants_after_random_traffic(steps):
+    cache = tiny_cache()
+    drive(cache, steps)
+    cache.check_invariants()
+
+
+@settings(max_examples=25, deadline=None)
+@given(steps=access_steps)
+def test_invariants_without_isc(steps):
+    cache = tiny_cache(enable_isc=False)
+    drive(cache, steps)
+    cache.check_invariants()
+    # Without ISC the C state must never appear.
+    for tag_array in cache.tags:
+        for _, _, entry in tag_array.array.valid_entries():
+            assert entry.state is not CoherenceState.COMMUNICATION
+
+
+@settings(max_examples=25, deadline=None)
+@given(steps=access_steps)
+def test_invariants_without_cr(steps):
+    cache = tiny_cache(enable_cr=False)
+    drive(cache, steps)
+    cache.check_invariants()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    steps=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=3),
+            st.integers(min_value=0, max_value=24),
+            st.booleans(),
+        ),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_invariants_at_every_step(steps):
+    """Stronger check on shorter sequences: no transient corruption."""
+    cache = tiny_cache()
+    for core, block, is_write in steps:
+        access_type = AccessType.WRITE if is_write else AccessType.READ
+        cache.access(Access(core, 0x40000 + block * 128, access_type))
+        cache.check_invariants()
+
+
+@settings(max_examples=30, deadline=None)
+@given(steps=access_steps)
+def test_determinism(steps):
+    """Identical seeds and traffic produce identical state."""
+    first = tiny_cache(seed=3)
+    second = tiny_cache(seed=3)
+    drive(first, steps)
+    drive(second, steps)
+    assert first.stats.counts == second.stats.counts
+    assert first.counters == second.counters
+    for core in range(4):
+        for (s1, w1, e1), (s2, w2, e2) in zip(
+            first.tags[core].array.valid_entries(),
+            second.tags[core].array.valid_entries(),
+        ):
+            assert (s1, w1, e1.tag, e1.state, e1.fwd) == (
+                s2,
+                w2,
+                e2.tag,
+                e2.state,
+                e2.fwd,
+            )
+
+
+@settings(max_examples=30, deadline=None)
+@given(steps=access_steps)
+def test_frame_accounting_consistent(steps):
+    """Occupied frames + free-list sizes always equal total frames."""
+    cache = tiny_cache()
+    drive(cache, steps)
+    for dgroup in cache.data.dgroups:
+        occupied = sum(1 for frame in dgroup.frames if frame.valid)
+        assert occupied + dgroup.free_count == dgroup.num_frames
+
+
+@settings(max_examples=30, deadline=None)
+@given(steps=access_steps)
+def test_dirty_blocks_have_single_copy(steps):
+    """M/E/C blocks never have replicas in the data array."""
+    cache = tiny_cache()
+    drive(cache, steps)
+    seen: "dict[int, CoherenceState]" = {}
+    for core in range(4):
+        for set_index, _, entry in cache.tags[core].array.valid_entries():
+            address = cache.tags[core].array.block_address(set_index, entry)
+            seen[address] = entry.state
+    for address, state in seen.items():
+        copies = len(list(cache.data.frames_holding(address)))
+        if state in (
+            CoherenceState.MODIFIED,
+            CoherenceState.EXCLUSIVE,
+            CoherenceState.COMMUNICATION,
+        ):
+            assert copies == 1, f"{state} block {address:#x} has {copies} copies"
+        else:
+            assert copies >= 1

@@ -1,0 +1,135 @@
+"""Data- and distance-replacement behaviour (Section 3.3.2).
+
+These tests engineer tag-set conflicts with same-set addresses to walk
+the replacement cases the paper enumerates: invalid victims, private
+victims pointing to the closest/farther d-groups, shared owners, and
+shared non-owners.
+"""
+
+from repro.coherence.states import CoherenceState
+from repro.common.params import KB, NurapidParams
+from repro.common.types import Access, AccessType
+from repro.core.nurapid import NurapidCache
+
+E = CoherenceState.EXCLUSIVE
+S = CoherenceState.SHARED
+I = CoherenceState.INVALID  # noqa: E741
+
+
+def small_cache(**kwargs) -> NurapidCache:
+    return NurapidCache(
+        NurapidParams(dgroup_capacity_bytes=16 * KB, tag_associativity=4),
+        **kwargs,
+    )
+
+
+def read(core, address):
+    return Access(core, address, AccessType.READ)
+
+
+def set_step(cache: NurapidCache) -> int:
+    geometry = cache.params.tag_geometry
+    return geometry.num_sets * geometry.block_size
+
+
+class TestTagConflicts:
+    def test_private_victim_in_closest_frees_tag_and_data(self):
+        cache = small_cache()
+        step = set_step(cache)
+        base = 0x100000
+        ways = cache.params.tag_geometry.associativity
+        for i in range(ways):
+            cache.access(read(0, base + i * step))
+        occupied = cache.data.total_occupied
+        cache.access(read(0, base + ways * step))  # conflict eviction
+        # One block evicted, one filled: occupancy unchanged.
+        assert cache.data.total_occupied == occupied
+        assert cache.tags[0].lookup(base, touch=False) is None
+        cache.check_invariants()
+
+    def test_conflict_victims_follow_category_order(self):
+        """A private block is evicted before shared blocks, even if the
+        shared blocks are older (Section 3.3.2's BusRepl avoidance)."""
+        cache = small_cache()
+        step = set_step(cache)
+        base = 0x200000
+        ways = cache.params.tag_geometry.associativity
+        # Fill the set: first entry stays private (E), rest become
+        # shared by a second core reading them.
+        for i in range(ways):
+            cache.access(read(0, base + i * step))
+        for i in range(1, ways):
+            cache.access(read(1, base + i * step))
+        cache.access(read(0, base + ways * step))
+        # The private entry (oldest AND only private) was the victim.
+        assert cache.tags[0].lookup(base, touch=False) is None
+        for i in range(1, ways):
+            assert cache.tags[0].lookup(base + i * step, touch=False) is not None
+        cache.check_invariants()
+
+    def test_shared_nonowner_victim_leaves_data_for_sharers(self):
+        """Dropping a pointer-only tag copy must not disturb the data."""
+        cache = small_cache()
+        step = set_step(cache)
+        base = 0x300000
+        ways = cache.params.tag_geometry.associativity
+        # Core 1 takes pointer-only copies of core 0's blocks.
+        for i in range(ways):
+            cache.access(read(0, base + i * step))
+            cache.access(read(1, base + i * step))
+        occupied = cache.data.total_occupied
+        # Force a conflict in core 1's set; all its entries are shared
+        # non-owners, so the eviction must not free any frame...
+        cache.access(read(1, 0xF00000 + (base % step)))
+        # ...beyond the one allocated for the new fill's data.
+        assert cache.data.total_occupied >= occupied
+        # Core 0 still hits all its blocks.
+        for i in range(ways):
+            assert cache.tags[0].lookup(base + i * step, touch=False) is not None
+        cache.check_invariants()
+
+    def test_shared_owner_victim_sends_busrepl(self):
+        cache = small_cache()
+        step = set_step(cache)
+        base = 0x400000
+        ways = cache.params.tag_geometry.associativity
+        for i in range(ways):
+            cache.access(read(0, base + i * step))
+            cache.access(read(1, base + i * step))  # all shared, core 0 owns
+        busrepl_before = cache.bus_stats.transactions["BusRepl"]
+        cache.access(read(0, base + ways * step))
+        assert cache.bus_stats.transactions["BusRepl"] == busrepl_before + 1
+        cache.check_invariants()
+
+
+class TestDistanceReplacement:
+    def test_demotion_chain_never_loops(self):
+        """Random-stop demotions terminate even under extreme pressure."""
+        cache = small_cache()
+        frames = cache.params.frames_per_dgroup
+        total = cache.params.total_frames
+        # Far more blocks than the whole data array from one core.
+        for i in range(2 * total):
+            cache.access(read(0, 0x500000 + i * 128))
+        assert cache.data.total_occupied <= total
+        cache.check_invariants()
+
+    def test_all_cores_under_pressure_simultaneously(self):
+        cache = small_cache()
+        frames = cache.params.frames_per_dgroup
+        for i in range(frames + frames // 2):
+            for core in range(4):
+                cache.access(read(core, 0x600000 + (core << 30) + i * 128))
+        cache.check_invariants()
+        # Every d-group is fully used — no stranded capacity.
+        for dgroup in cache.data.dgroups:
+            assert dgroup.occupied_count > 0.9 * dgroup.num_frames
+
+    def test_reset_stats_preserves_contents(self):
+        cache = small_cache()
+        cache.access(read(0, 0x700000))
+        cache.reset_stats()
+        assert cache.stats.total == 0
+        assert cache.counters.demotions == 0
+        result = cache.access(read(0, 0x700000))
+        assert result.is_hit  # contents survived the reset

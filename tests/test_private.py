@@ -1,0 +1,169 @@
+"""Tests for the private-cache MESI baseline."""
+
+from repro.caches.private import PrivateCaches, UpdateProtocolCaches
+from repro.coherence.states import CoherenceState
+from repro.common.params import KB, CacheGeometry, PrivateCacheParams
+from repro.common.types import Access, AccessType, MissClass
+
+M = CoherenceState.MODIFIED
+E = CoherenceState.EXCLUSIVE
+S = CoherenceState.SHARED
+I = CoherenceState.INVALID  # noqa: E741
+
+
+def read(core, address):
+    return Access(core, address, AccessType.READ)
+
+
+def write(core, address):
+    return Access(core, address, AccessType.WRITE)
+
+
+def make_caches(capacity=16 * KB) -> PrivateCaches:
+    return PrivateCaches(
+        PrivateCacheParams(geometry=CacheGeometry(capacity, 4, 128))
+    )
+
+
+class TestBasicMesi:
+    def test_first_read_fills_exclusive(self):
+        caches = make_caches()
+        result = caches.access(read(0, 0x1000))
+        assert result.miss_class is MissClass.CAPACITY
+        assert caches.state_of(0, 0x1000) is E
+
+    def test_second_reader_classified_ros(self):
+        caches = make_caches()
+        caches.access(read(0, 0x1000))
+        result = caches.access(read(1, 0x1000))
+        assert result.miss_class is MissClass.ROS
+        assert caches.state_of(0, 0x1000) is S
+        assert caches.state_of(1, 0x1000) is S
+
+    def test_read_of_dirty_copy_classified_rws(self):
+        caches = make_caches()
+        caches.access(write(0, 0x1000))
+        assert caches.state_of(0, 0x1000) is M
+        result = caches.access(read(1, 0x1000))
+        assert result.miss_class is MissClass.RWS
+        assert caches.state_of(0, 0x1000) is S  # flushed and downgraded
+
+    def test_write_miss_invalidates_all_copies(self):
+        caches = make_caches()
+        caches.access(read(0, 0x1000))
+        caches.access(read(1, 0x1000))
+        caches.access(write(2, 0x1000))
+        assert caches.state_of(0, 0x1000) is I
+        assert caches.state_of(1, 0x1000) is I
+        assert caches.state_of(2, 0x1000) is M
+
+    def test_upgrade_from_shared_invalidates_sharers(self):
+        caches = make_caches()
+        caches.access(read(0, 0x1000))
+        caches.access(read(1, 0x1000))
+        result = caches.access(write(0, 0x1000))
+        assert result.is_hit  # tag hit; upgrade, not a miss
+        assert caches.state_of(0, 0x1000) is M
+        assert caches.state_of(1, 0x1000) is I
+        assert caches.counters.upgrades == 1
+
+    def test_silent_e_to_m_upgrade(self):
+        caches = make_caches()
+        caches.access(read(0, 0x1000))
+        bus_before = caches.bus.stats.total
+        caches.access(write(0, 0x1000))
+        assert caches.state_of(0, 0x1000) is M
+        assert caches.bus.stats.total == bus_before
+
+
+class TestLatencies:
+    def test_local_hit_is_ten_cycles(self):
+        caches = make_caches()
+        caches.access(read(0, 0x1000))
+        assert caches.access(read(0, 0x1000)).latency == 10
+
+    def test_cache_to_cache_pays_bus_twice(self):
+        """Request over the bus, data back over the bus."""
+        caches = make_caches()
+        caches.access(read(0, 0x1000))
+        result = caches.access(read(1, 0x1000))
+        assert result.latency == 4 + 32 + 10 + 32
+
+    def test_memory_miss_latency(self):
+        caches = make_caches()
+        result = caches.access(read(0, 0x1000))
+        assert result.latency == 4 + 32 + 300 + 32
+
+
+class TestReplication:
+    def test_uncontrolled_replication_copies_everywhere(self):
+        """Every reader makes a full copy — the paper's capacity waste."""
+        caches = make_caches()
+        for core in range(4):
+            caches.access(read(core, 0x1000))
+        copies = sum(
+            1 for core in range(4) if caches.state_of(core, 0x1000).is_valid
+        )
+        assert copies == 4
+
+
+class TestReuseHistograms:
+    def test_rws_invalidation_recorded(self):
+        caches = make_caches()
+        caches.access(write(0, 0x1000))
+        caches.access(read(1, 0x1000))      # RWS fill at core 1
+        caches.access(read(1, 0x1000))      # one L2 reuse
+        caches.access(write(0, 0x1000))     # upgrade invalidates core 1
+        assert caches.reuse.rws_invalidated["1"] == 1
+
+    def test_ros_replacement_recorded(self):
+        caches = make_caches(capacity=2 * KB)  # 16 blocks, 4 sets
+        caches.access(read(0, 0x0))
+        caches.access(read(1, 0x0))  # core 1 fills by ROS miss
+        geometry = caches.params.geometry
+        step = geometry.num_sets * geometry.block_size
+        for i in range(1, geometry.associativity + 1):
+            caches.access(read(1, i * step))  # evict the ROS block
+        assert sum(caches.reuse.ros_replaced.values()) == 1
+
+    def test_inclusion_hook_called_on_invalidation(self):
+        caches = make_caches()
+        invalidated = []
+        caches.set_l1_invalidate_hook(lambda core, addr: invalidated.append((core, addr)))
+        caches.access(read(1, 0x1000))
+        caches.access(write(0, 0x1000))
+        assert (1, 0x1000) in invalidated
+
+
+class TestUpdateProtocol:
+    def test_shared_write_keeps_copies(self):
+        caches = UpdateProtocolCaches(
+            PrivateCacheParams(geometry=CacheGeometry(16 * KB, 4, 128))
+        )
+        caches.access(read(0, 0x1000))
+        caches.access(read(1, 0x1000))
+        caches.access(write(0, 0x1000))
+        # Under an update protocol the reader's copy survives the write.
+        assert caches.state_of(1, 0x1000).is_valid
+        assert caches.state_of(0, 0x1000).is_valid
+
+    def test_shared_write_broadcasts_on_bus(self):
+        caches = UpdateProtocolCaches(
+            PrivateCacheParams(geometry=CacheGeometry(16 * KB, 4, 128))
+        )
+        caches.access(read(0, 0x1000))
+        caches.access(read(1, 0x1000))
+        before = caches.bus.stats.transactions["WrThru"]
+        caches.access(write(0, 0x1000))
+        caches.access(write(0, 0x1000))
+        assert caches.bus.stats.transactions["WrThru"] == before + 2
+
+    def test_reader_never_rws_misses_after_update(self):
+        caches = UpdateProtocolCaches(
+            PrivateCacheParams(geometry=CacheGeometry(16 * KB, 4, 128))
+        )
+        caches.access(read(0, 0x1000))
+        caches.access(read(1, 0x1000))
+        caches.access(write(0, 0x1000))
+        result = caches.access(read(1, 0x1000))
+        assert result.is_hit

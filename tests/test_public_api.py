@@ -1,0 +1,46 @@
+"""Tests for the top-level public API surface."""
+
+import repro
+
+
+class TestExports:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"__all__ lists missing name {name}"
+
+    def test_design_classes_exported(self):
+        for cls_name in (
+            "NurapidCache",
+            "SharedCache",
+            "PrivateCaches",
+            "SnucaCache",
+            "IdealCache",
+        ):
+            assert hasattr(repro, cls_name)
+
+    def test_workload_builders_exported(self):
+        assert callable(repro.make_workload)
+        assert callable(repro.make_mix)
+        assert callable(repro.run_workload)
+
+    def test_quickstart_docstring_snippet_runs(self):
+        """The module docstring's quickstart example must keep working."""
+        design = repro.NurapidCache()
+        workload = repro.make_workload("barnes")
+        stats = repro.run_workload(
+            design, workload.events(accesses_per_core=800)
+        )
+        assert 0.0 <= stats.accesses.miss_rate <= 1.0
+        assert stats.throughput > 0
+
+    def test_subpackage_exports(self):
+        from repro.experiments import DESIGN_FACTORIES
+        from repro.latency import energy
+        from repro.workloads import tracefile
+
+        assert "cmp-nurapid" in DESIGN_FACTORIES
+        assert hasattr(energy, "estimate_energy_per_access")
+        assert hasattr(tracefile, "read_trace")

@@ -1,0 +1,125 @@
+"""Tests for the uniform-shared, ideal, and SNUCA L2 designs."""
+
+from repro.caches.ideal import IdealCache
+from repro.caches.shared import SharedCache
+from repro.caches.snuca import SnucaCache
+from repro.common.params import KB, CacheGeometry, IdealCacheParams, SharedCacheParams, SnucaParams
+from repro.common.types import Access, AccessType, MissClass
+
+
+def read(core, address):
+    return Access(core, address, AccessType.READ)
+
+
+def write(core, address):
+    return Access(core, address, AccessType.WRITE)
+
+
+def small_shared() -> SharedCache:
+    return SharedCache(SharedCacheParams(geometry=CacheGeometry(32 * KB, 4, 128)))
+
+
+class TestSharedCache:
+    def test_cold_miss_then_hit(self):
+        cache = small_shared()
+        first = cache.access(read(0, 0x1000))
+        assert first.miss_class is MissClass.CAPACITY
+        assert first.latency == 59 + 300
+        second = cache.access(read(0, 0x1000))
+        assert second.is_hit
+        assert second.latency == 59
+
+    def test_one_copy_shared_by_all_cores(self):
+        cache = small_shared()
+        cache.access(read(0, 0x1000))
+        for core in range(1, 4):
+            assert cache.access(read(core, 0x1000)).is_hit
+
+    def test_no_sharing_misses_ever(self):
+        """Figure 5a: shared caches have only hits and capacity misses."""
+        cache = small_shared()
+        cache.access(write(0, 0x1000))
+        cache.access(read(1, 0x1000))
+        cache.access(write(2, 0x1000))
+        for miss_class, count in cache.stats.counts.items():
+            assert miss_class in (MissClass.HIT, MissClass.CAPACITY)
+
+    def test_eviction_invalidates_all_l1s(self):
+        cache = small_shared()
+        invalidated = []
+        cache.set_l1_invalidate_hook(lambda core, addr: invalidated.append((core, addr)))
+        geometry = cache.params.geometry
+        step = geometry.num_sets * geometry.block_size
+        for i in range(geometry.associativity + 1):
+            cache.access(read(0, i * step))
+        evicted = [pair for pair in invalidated if pair[1] == 0]
+        assert len(evicted) == 4  # all four cores
+
+    def test_reset_stats(self):
+        cache = small_shared()
+        cache.access(read(0, 0x100))
+        cache.reset_stats()
+        assert cache.stats.total == 0
+
+
+class TestIdealCache:
+    def test_private_latency_with_shared_capacity(self):
+        cache = IdealCache(
+            IdealCacheParams(geometry=CacheGeometry(32 * KB, 4, 128))
+        )
+        miss = cache.access(read(0, 0x2000))
+        assert miss.latency == 10 + 300
+        hit = cache.access(read(1, 0x2000))
+        assert hit.latency == 10
+
+
+class TestSnucaCache:
+    def make(self) -> SnucaCache:
+        return SnucaCache(
+            SnucaParams(geometry=CacheGeometry(64 * KB, 4, 128), num_banks=16)
+        )
+
+    def test_bank_mapping_is_stable_and_in_range(self):
+        cache = self.make()
+        for address in (0, 128, 4096, 1 << 30):
+            bank = cache.bank_of(address)
+            assert 0 <= bank < 16
+            assert cache.bank_of(address) == bank
+
+    def test_consecutive_blocks_interleave(self):
+        cache = self.make()
+        banks = [cache.bank_of(i * 128) for i in range(16)]
+        assert sorted(banks) == list(range(16))
+
+    def test_local_global_address_roundtrip(self):
+        cache = self.make()
+        for address in (0, 128, 12800, (1 << 25) + 128 * 7):
+            bank = cache.bank_of(address)
+            local = cache._local_address(address)
+            assert cache._global_address(bank, local) == address & ~127
+
+    def test_latency_depends_on_bank_distance(self):
+        cache = self.make()
+        latencies = set()
+        for block in range(16):
+            result = cache.access(read(0, block * 128))
+            latencies.add(result.latency - 300)
+        assert len(latencies) > 1  # non-uniform
+
+    def test_hit_after_fill(self):
+        cache = self.make()
+        cache.access(read(0, 0x4000))
+        result = cache.access(read(2, 0x4000))
+        assert result.is_hit
+        expected = cache.params.bank_latencies[2][cache.bank_of(0x4000)]
+        assert result.latency == expected
+
+    def test_no_aliasing_across_banks(self):
+        """Blocks mapping to different banks never evict each other."""
+        cache = self.make()
+        for i in range(64):
+            cache.access(read(0, i * 128))
+        hits = sum(
+            1 for i in range(64) if cache.access(read(0, i * 128)).is_hit
+        )
+        assert hits == 64

@@ -1,0 +1,122 @@
+"""Tests for the statistics containers."""
+
+import pytest
+
+from repro.common.stats import (
+    AccessStats,
+    BusStats,
+    CoreTiming,
+    DgroupStats,
+    ReuseStats,
+    SimulationStats,
+    reuse_bucket,
+)
+from repro.common.types import MissClass
+
+
+class TestReuseBucket:
+    @pytest.mark.parametrize(
+        "count,bucket",
+        [(0, "0"), (1, "1"), (2, "2-5"), (5, "2-5"), (6, ">5"), (100, ">5")],
+    )
+    def test_buckets(self, count, bucket):
+        assert reuse_bucket(count) == bucket
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            reuse_bucket(-1)
+
+
+class TestAccessStats:
+    def test_fractions(self):
+        stats = AccessStats()
+        for _ in range(8):
+            stats.record(MissClass.HIT)
+        stats.record(MissClass.ROS)
+        stats.record(MissClass.CAPACITY)
+        assert stats.total == 10
+        assert stats.fraction(MissClass.HIT) == 0.8
+        assert stats.miss_rate == pytest.approx(0.2)
+
+    def test_empty_is_zero(self):
+        stats = AccessStats()
+        assert stats.miss_rate == 0.0
+        assert stats.fraction(MissClass.HIT) == 0.0
+
+    def test_distribution_sums_to_one(self):
+        stats = AccessStats()
+        for miss_class in MissClass:
+            stats.record(miss_class)
+        assert sum(stats.distribution().values()) == pytest.approx(1.0)
+
+    def test_merge(self):
+        a, b = AccessStats(), AccessStats()
+        a.record(MissClass.HIT)
+        b.record(MissClass.RWS)
+        a.merge(b)
+        assert a.total == 2
+
+
+class TestReuseStats:
+    def test_fractions_per_histogram(self):
+        stats = ReuseStats()
+        stats.record_ros_replacement(0)
+        stats.record_ros_replacement(0)
+        stats.record_ros_replacement(3)
+        stats.record_rws_invalidation(2)
+        ros = stats.ros_fractions()
+        assert ros["0"] == pytest.approx(2 / 3)
+        assert ros["2-5"] == pytest.approx(1 / 3)
+        assert stats.rws_fractions()["2-5"] == 1.0
+
+    def test_empty_fractions(self):
+        stats = ReuseStats()
+        assert all(v == 0.0 for v in stats.ros_fractions().values())
+
+
+class TestDgroupStats:
+    def test_distribution(self):
+        stats = DgroupStats()
+        stats.record(0, is_hit=True)
+        stats.record(0, is_hit=True)
+        stats.record(1, is_hit=True)
+        stats.record(None, is_hit=False)
+        dist = stats.distribution()
+        assert dist["closest"] == 0.5
+        assert dist["farther"] == 0.25
+        assert dist["miss"] == 0.25
+        assert stats.closest_fraction_of_hits == pytest.approx(2 / 3)
+
+    def test_empty(self):
+        stats = DgroupStats()
+        assert stats.distribution() == {"closest": 0.0, "farther": 0.0, "miss": 0.0}
+        assert stats.closest_fraction_of_hits == 0.0
+
+
+class TestSimulationStats:
+    def test_throughput_uses_slowest_core(self):
+        stats = SimulationStats()
+        stats.per_core = [CoreTiming(100, 200), CoreTiming(100, 400)]
+        assert stats.total_instructions == 200
+        assert stats.max_cycles == 400
+        assert stats.throughput == 0.5
+
+    def test_aggregate_ipc_sums_cores(self):
+        stats = SimulationStats()
+        stats.per_core = [CoreTiming(100, 200), CoreTiming(100, 400)]
+        assert stats.aggregate_ipc == pytest.approx(0.5 + 0.25)
+
+    def test_empty(self):
+        stats = SimulationStats()
+        assert stats.throughput == 0.0
+        assert stats.aggregate_ipc == 0.0
+
+
+class TestBusStats:
+    def test_counts(self):
+        stats = BusStats()
+        stats.record("BusRd")
+        stats.record("BusRd")
+        stats.record("BusRepl")
+        assert stats.total == 3
+        assert stats.transactions["BusRd"] == 2

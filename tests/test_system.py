@@ -1,0 +1,160 @@
+"""Tests for the CmpSystem hierarchy wiring and the timing model."""
+
+from repro.caches.shared import SharedCache
+from repro.common.params import KB, CacheGeometry, SharedCacheParams, SystemParams
+from repro.common.types import Access, AccessType
+from repro.core.nurapid import NurapidCache
+from repro.common.params import NurapidParams
+from repro.cpu.core import InOrderCore
+from repro.cpu.system import CmpSystem, TimedAccess, run_workload
+
+
+def read(core, address):
+    return Access(core, address, AccessType.READ)
+
+
+def write(core, address):
+    return Access(core, address, AccessType.WRITE)
+
+
+def small_system(blocking_stores=False) -> CmpSystem:
+    design = SharedCache(SharedCacheParams(geometry=CacheGeometry(32 * KB, 4, 128)))
+    return CmpSystem(design, SystemParams(blocking_stores=blocking_stores))
+
+
+class TestInOrderCore:
+    def test_gap_instructions_one_cycle_each(self):
+        core = InOrderCore(0, l1_latency=3)
+        core.execute_gap(10)
+        assert core.instructions == 10
+        assert core.cycles == 10
+
+    def test_memory_charges_l1_latency_plus_stall(self):
+        core = InOrderCore(0, l1_latency=3)
+        core.execute_memory(stall_cycles=59)
+        assert core.instructions == 1
+        assert core.cycles == 62
+
+    def test_colocated_accesses_are_l1_hits(self):
+        core = InOrderCore(0, l1_latency=3)
+        core.execute_colocated(4)
+        assert core.instructions == 4
+        assert core.cycles == 12
+
+    def test_ipc(self):
+        core = InOrderCore(0)
+        core.execute_gap(7)
+        core.execute_memory(0)
+        assert core.ipc == 8 / 10
+
+
+class TestL1Filtering:
+    def test_l1_hit_avoids_l2(self):
+        system = small_system()
+        system.access(read(0, 0x1000))  # miss, fills L1
+        l2_before = system.design.stats.total
+        stall = system.access(read(0, 0x1000))
+        assert stall == 0
+        assert system.design.stats.total == l2_before
+
+    def test_l1_miss_goes_to_l2(self):
+        system = small_system()
+        stall = system.access(read(0, 0x1000))
+        assert stall == 59 + 300
+        assert system.design.stats.total == 1
+
+
+class TestStoreSemantics:
+    def test_nonblocking_store_returns_zero_stall(self):
+        system = small_system(blocking_stores=False)
+        stall = system.access(write(0, 0x1000))
+        assert stall == 0
+        assert system.design.stats.total == 1  # L2 still saw it
+
+    def test_blocking_store_stalls(self):
+        system = small_system(blocking_stores=True)
+        stall = system.access(write(0, 0x1000))
+        assert stall == 59 + 300
+
+    def test_store_grants_write_permission(self):
+        system = small_system()
+        system.access(write(0, 0x1000))
+        l2_before = system.design.stats.total
+        system.access(write(0, 0x1000))  # completes in L1
+        assert system.design.stats.total == l2_before
+
+    def test_store_invalidates_other_l1_copies(self):
+        system = small_system()
+        system.access(read(1, 0x1000))  # core 1 caches it
+        assert system.l1s[1].probe(0x1000)
+        system.access(write(0, 0x1000))
+        assert not system.l1s[1].probe(0x1000)
+
+    def test_load_revokes_remote_write_permission(self):
+        system = small_system()
+        system.access(write(0, 0x1000))   # core 0 writable
+        system.access(read(1, 0x1000))    # downgrade
+        l2_before = system.design.stats.total
+        system.access(write(0, 0x1000))   # must re-request
+        assert system.design.stats.total == l2_before + 1
+
+
+class TestWriteThroughBlocks:
+    def test_c_block_stores_always_reach_l2(self):
+        from repro.common.params import KB as KiB
+
+        design = NurapidCache(
+            NurapidParams(dgroup_capacity_bytes=16 * KiB, tag_associativity=4)
+        )
+        system = CmpSystem(design)
+        system.access(write(0, 0x2000))
+        system.access(read(1, 0x2000))  # block enters C
+        l2_before = design.stats.total
+        system.access(write(0, 0x2000))
+        system.access(write(0, 0x2000))
+        assert design.stats.total == l2_before + 2  # every store went down
+
+
+class TestInclusion:
+    def test_l2_eviction_invalidates_l1(self):
+        system = small_system()
+        design = system.design
+        geometry = design.params.geometry
+        step = geometry.num_sets * geometry.block_size
+        system.access(read(0, 0))
+        assert system.l1s[0].probe(0)
+        for i in range(1, geometry.associativity + 1):
+            system.access(read(0, i * step))
+        assert not system.l1s[0].probe(0)  # inclusion enforced
+
+
+class TestRunAndStats:
+    def test_run_accumulates_timing(self):
+        system = small_system()
+        events = [
+            TimedAccess(read(0, 0x1000), gap=5, colocated=2),
+            TimedAccess(read(0, 0x1000), gap=5, colocated=2),
+        ]
+        system.run(events)
+        stats = system.stats()
+        core = stats.per_core[0]
+        assert core.instructions == 2 * (5 + 2 + 1)
+        # First access stalls 359, second hits L1.
+        assert core.cycles == 2 * (5 + 2 * 3 + 3) + 359
+
+    def test_reset_stats_keeps_cache_state(self):
+        system = small_system()
+        system.access(read(0, 0x1000))
+        system.reset_stats()
+        assert system.design.stats.total == 0
+        stall = system.access(read(0, 0x1000))
+        assert stall == 0  # still warm
+
+    def test_run_workload_wrapper(self):
+        design = SharedCache(
+            SharedCacheParams(geometry=CacheGeometry(32 * KB, 4, 128))
+        )
+        events = [TimedAccess(read(0, i * 128), gap=1) for i in range(10)]
+        stats = run_workload(design, events)
+        assert stats.accesses.total == 10
+        assert stats.total_instructions == 20

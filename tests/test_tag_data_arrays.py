@@ -1,0 +1,170 @@
+"""Tests for CMP-NuRAPID's tag arrays and d-group data array."""
+
+import numpy as np
+import pytest
+
+from repro.caches.base import Entry
+from repro.coherence.states import CoherenceState
+from repro.common.params import KB, CacheGeometry
+from repro.core.data_array import DataArray, DGroup
+from repro.core.pointers import FramePtr, TagPtr
+from repro.core.tag_array import NurapidTagEntry, TagArray, replacement_category
+
+M = CoherenceState.MODIFIED
+E = CoherenceState.EXCLUSIVE
+S = CoherenceState.SHARED
+I = CoherenceState.INVALID  # noqa: E741
+C = CoherenceState.COMMUNICATION
+
+
+class TestReplacementCategory:
+    def test_invalid_first(self):
+        entry = Entry()
+        assert replacement_category(entry) == 0
+
+    def test_private_before_shared(self):
+        private = Entry(state=E)
+        modified = Entry(state=M)
+        shared = Entry(state=S)
+        communication = Entry(state=C)
+        assert replacement_category(private) == 1
+        assert replacement_category(modified) == 1
+        assert replacement_category(shared) == 2
+        assert replacement_category(communication) == 2
+
+
+class TestTagArray:
+    def make(self) -> TagArray:
+        return TagArray(core=1, geometry=CacheGeometry(32 * KB, 4, 128))
+
+    def test_install_and_lookup(self):
+        tags = self.make()
+        entry = tags.victim(0x1000)
+        tags.install(entry, 0x1000, S, FramePtr(0, 5))
+        found = tags.lookup(0x1000)
+        assert found is entry
+        assert found.fwd == FramePtr(0, 5)
+
+    def test_invalidate_clears_pointer_and_busy(self):
+        tags = self.make()
+        entry = tags.victim(0x1000)
+        tags.install(entry, 0x1000, S, FramePtr(0, 5))
+        entry.busy = True
+        entry.invalidate()
+        assert entry.fwd is None
+        assert not entry.busy
+
+    def test_ptr_of_roundtrip(self):
+        tags = self.make()
+        entry = tags.victim(0x2000)
+        tags.install(entry, 0x2000, E, FramePtr(1, 9))
+        ptr = tags.ptr_of(0x2000, entry)
+        assert ptr.core == 1
+        assert tags.entry_at(ptr) is entry
+
+    def test_entry_at_rejects_wrong_core(self):
+        tags = self.make()
+        with pytest.raises(ValueError):
+            tags.entry_at(TagPtr(0, 0, 0))
+
+    def test_victim_prefers_invalid_then_private_then_shared(self):
+        tags = self.make()
+        step = tags.geometry.num_sets * tags.geometry.block_size
+        addresses = [i * step for i in range(4)]
+        states = [S, E, S, C]
+        for address, state in zip(addresses, states):
+            tags.install(tags.victim(address), address, state, FramePtr(0, 0))
+        victim = tags.victim(4 * step)
+        assert victim.state is E  # the only private entry
+
+
+class TestDGroup:
+    def test_allocate_until_full(self):
+        group = DGroup(0, 4)
+        indices = {group.allocate() for _ in range(4)}
+        assert indices == {0, 1, 2, 3}
+        with pytest.raises(RuntimeError):
+            group.allocate()
+
+    def test_release_requires_invalid_frame(self):
+        group = DGroup(0, 2)
+        index = group.allocate()
+        group.frames[index].valid = True
+        with pytest.raises(RuntimeError):
+            group.release(index)
+
+    def test_random_occupied_respects_protection(self):
+        group = DGroup(0, 2)
+        rng = np.random.default_rng(0)
+        for index in (group.allocate(), group.allocate()):
+            group.frames[index].valid = True
+        protect = frozenset({FramePtr(0, 0)})
+        picks = {group.random_occupied(rng, protect) for _ in range(20)}
+        assert picks == {1}
+
+    def test_random_occupied_none_when_all_protected(self):
+        group = DGroup(0, 1)
+        group.frames[group.allocate()].valid = True
+        rng = np.random.default_rng(0)
+        assert group.random_occupied(rng, frozenset({FramePtr(0, 0)})) is None
+
+    def test_random_occupied_none_when_empty(self):
+        group = DGroup(0, 4)
+        assert group.random_occupied(np.random.default_rng(0)) is None
+
+
+class TestDataArray:
+    def make(self) -> DataArray:
+        return DataArray(num_dgroups=2, frames_per_dgroup=4)
+
+    def test_occupy_and_free(self):
+        data = self.make()
+        ptr = FramePtr(0, data[0].allocate())
+        data.occupy(ptr, 0x1000, TagPtr(0, 0, 0))
+        assert data.frame(ptr).valid
+        assert data.frame(ptr).address == 0x1000
+        data.free(ptr)
+        assert not data.frame(ptr).valid
+        assert data[0].free_count == 4
+
+    def test_double_occupy_rejected(self):
+        data = self.make()
+        ptr = FramePtr(0, data[0].allocate())
+        data.occupy(ptr, 0x1000, TagPtr(0, 0, 0))
+        with pytest.raises(RuntimeError):
+            data.occupy(ptr, 0x2000, TagPtr(0, 0, 1))
+
+    def test_double_free_rejected(self):
+        data = self.make()
+        ptr = FramePtr(0, data[0].allocate())
+        data.occupy(ptr, 0x1000, TagPtr(0, 0, 0))
+        data.free(ptr)
+        with pytest.raises(RuntimeError):
+            data.free(ptr)
+
+    def test_move_preserves_contents_and_frees_source(self):
+        data = self.make()
+        src = FramePtr(0, data[0].allocate())
+        data.occupy(src, 0x3000, TagPtr(1, 2, 3), dirty=True)
+        dst = FramePtr(1, data[1].allocate())
+        data.move(src, dst)
+        frame = data.frame(dst)
+        assert frame.address == 0x3000
+        assert frame.rev == TagPtr(1, 2, 3)
+        assert frame.dirty
+        assert not data.frame(src).valid
+        assert data[0].free_count == 4
+
+    def test_frames_holding_finds_replicas(self):
+        data = self.make()
+        a = FramePtr(0, data[0].allocate())
+        b = FramePtr(1, data[1].allocate())
+        data.occupy(a, 0x5000, TagPtr(0, 0, 0))
+        data.occupy(b, 0x5000, TagPtr(1, 0, 0))
+        assert set(data.frames_holding(0x5000)) == {a, b}
+
+    def test_total_occupied(self):
+        data = self.make()
+        assert data.total_occupied == 0
+        data.occupy(FramePtr(0, data[0].allocate()), 0x0, TagPtr(0, 0, 0))
+        assert data.total_occupied == 1

@@ -1,0 +1,88 @@
+"""Unit tests for repro.common.types."""
+
+import pytest
+
+from repro.common.types import (
+    Access,
+    AccessResult,
+    AccessType,
+    MissClass,
+    SharingClass,
+    block_address,
+    log2_exact,
+)
+
+
+class TestAccessType:
+    def test_write_flag(self):
+        assert AccessType.WRITE.is_write
+        assert not AccessType.READ.is_write
+
+
+class TestMissClass:
+    def test_hit_is_not_miss(self):
+        assert not MissClass.HIT.is_miss
+
+    @pytest.mark.parametrize(
+        "miss", [MissClass.ROS, MissClass.RWS, MissClass.CAPACITY]
+    )
+    def test_misses_are_misses(self, miss):
+        assert miss.is_miss
+
+
+class TestAccess:
+    def test_fields_and_is_write(self):
+        access = Access(2, 0x1000, AccessType.WRITE)
+        assert access.core == 2
+        assert access.address == 0x1000
+        assert access.is_write
+        assert access.sharing is SharingClass.PRIVATE
+
+    def test_equality_and_hash(self):
+        a = Access(0, 64, AccessType.READ, SharingClass.READ_ONLY_SHARED)
+        b = Access(0, 64, AccessType.READ, SharingClass.READ_ONLY_SHARED)
+        c = Access(1, 64, AccessType.READ, SharingClass.READ_ONLY_SHARED)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_repr_mentions_core_and_address(self):
+        text = repr(Access(1, 0x80, AccessType.READ))
+        assert "core=1" in text
+        assert "0x80" in text
+
+
+class TestAccessResult:
+    def test_hit_flag(self):
+        assert AccessResult(MissClass.HIT, 10).is_hit
+        assert not AccessResult(MissClass.CAPACITY, 300).is_hit
+
+    def test_defaults(self):
+        result = AccessResult(MissClass.HIT, 10)
+        assert result.dgroup_distance is None
+        assert not result.write_through
+
+
+class TestBlockAddress:
+    def test_masks_offset(self):
+        assert block_address(0x12345, 128) == 0x12300
+        assert block_address(0x12380, 128) == 0x12380
+
+    def test_identity_for_aligned(self):
+        assert block_address(0x4000, 64) == 0x4000
+
+    @pytest.mark.parametrize("bad", [0, -1, 3, 100])
+    def test_rejects_non_power_of_two(self, bad):
+        with pytest.raises(ValueError):
+            block_address(0x1000, bad)
+
+
+class TestLog2Exact:
+    @pytest.mark.parametrize("value,expected", [(1, 0), (2, 1), (128, 7), (1 << 20, 20)])
+    def test_exact(self, value, expected):
+        assert log2_exact(value) == expected
+
+    @pytest.mark.parametrize("bad", [0, -4, 3, 6, 100])
+    def test_rejects_non_power_of_two(self, bad):
+        with pytest.raises(ValueError):
+            log2_exact(bad)

@@ -1,0 +1,130 @@
+"""Statistical tests on the synthetic workload generators.
+
+These verify that the generated streams actually carry the properties
+the specs declare — sharing mix, write fractions, instruction shaping —
+within sampling tolerance, so that calibration parameters mean what
+they say.
+"""
+
+import itertools
+from collections import Counter
+
+from repro.common.types import AccessType, SharingClass
+from repro.workloads.base import RegionSpec, SyntheticWorkload, WorkloadSpec
+from repro.workloads.multiprogrammed import make_mix
+from repro.workloads.multithreaded import make_workload, workload_spec
+
+
+def spec_for_stats() -> WorkloadSpec:
+    return WorkloadSpec(
+        name="stats",
+        mem_ratio=0.4,
+        p_private=0.6,
+        p_shared_ro=0.25,
+        p_shared_rw=0.15,
+        private=RegionSpec(blocks=500, hot_blocks=100, write_fraction=0.2),
+        shared_ro=RegionSpec(blocks=400, hot_blocks=80),
+        shared_rw=RegionSpec(blocks=300, hot_blocks=60),
+        p_recent=0.0,  # raw region draws, no recency layer
+        recent_window=8,
+        spatial_factor=3.0,
+    )
+
+
+class TestSharingMix:
+    def test_region_fractions_match_spec(self):
+        workload = SyntheticWorkload(spec_for_stats(), seed=11)
+        counts = Counter(
+            event.access.sharing
+            for event in workload.events(accesses_per_core=4000)
+        )
+        total = sum(counts.values())
+        assert abs(counts[SharingClass.PRIVATE] / total - 0.6) < 0.03
+        assert abs(counts[SharingClass.READ_ONLY_SHARED] / total - 0.25) < 0.03
+        assert abs(counts[SharingClass.READ_WRITE_SHARED] / total - 0.15) < 0.03
+
+    def test_private_write_fraction(self):
+        workload = SyntheticWorkload(spec_for_stats(), seed=11)
+        reads = writes = 0
+        for event in workload.events(accesses_per_core=4000):
+            if event.access.sharing is SharingClass.PRIVATE:
+                if event.access.is_write:
+                    writes += 1
+                else:
+                    reads += 1
+        assert abs(writes / (reads + writes) - 0.2) < 0.03
+
+    def test_recency_raises_repeat_rate(self):
+        base = spec_for_stats()
+        sticky = WorkloadSpec(
+            **{
+                **{f: getattr(base, f) for f in (
+                    "name", "mem_ratio", "p_private", "p_shared_ro",
+                    "p_shared_rw", "private", "shared_ro", "shared_rw",
+                    "recent_window", "rw_writer_write_fraction",
+                    "spatial_factor",
+                )},
+                "p_recent": 0.9,
+            }
+        )
+
+        def distinct_fraction(spec):
+            workload = SyntheticWorkload(spec, seed=3)
+            addresses = [
+                e.access.address
+                for e in itertools.islice(workload.events(2000), 4000)
+            ]
+            return len(set(addresses)) / len(addresses)
+
+        assert distinct_fraction(sticky) < 0.5 * distinct_fraction(base)
+
+
+class TestInstructionShaping:
+    def test_event_stream_matches_mem_ratio(self):
+        workload = SyntheticWorkload(spec_for_stats(), seed=5)
+        gap = colocated = events = 0
+        for event in workload.events(accesses_per_core=3000):
+            gap += event.gap
+            colocated += event.colocated
+            events += 1
+        memory = events + colocated
+        assert abs(memory / (memory + gap) - 0.4) < 0.01
+        assert abs((events + colocated) / events - 3.0) < 0.01
+
+
+class TestWorkloadContrast:
+    def test_commercial_streams_have_more_shared_traffic(self):
+        def shared_fraction(name):
+            workload = make_workload(name)
+            counts = Counter(
+                e.access.sharing for e in workload.events(accesses_per_core=1500)
+            )
+            total = sum(counts.values())
+            return 1.0 - counts[SharingClass.PRIVATE] / total
+
+        assert shared_fraction("oltp") > 2 * shared_fraction("ocean")
+
+    def test_mix_cores_have_disjoint_footprints(self):
+        workload = make_mix("MIX1")
+        per_core = {}
+        for event in workload.events(accesses_per_core=1200):
+            per_core.setdefault(event.access.core, set()).add(
+                event.access.address
+            )
+        for a in range(4):
+            for b in range(a + 1, 4):
+                assert not per_core[a] & per_core[b]
+
+    def test_streaming_apps_touch_more_blocks(self):
+        """art (streaming) covers far more distinct blocks than mesa."""
+        workload = make_mix("MIX1")  # P1=art, P3=mesa
+        per_core = {}
+        for event in workload.events(accesses_per_core=4000):
+            per_core.setdefault(event.access.core, set()).add(
+                event.access.address
+            )
+        assert len(per_core[1]) > 2 * len(per_core[3])
+
+    def test_rw_write_fraction_controlled_by_spec(self):
+        oltp = workload_spec("oltp")
+        assert oltp.rw_writer_write_fraction == 0.6
