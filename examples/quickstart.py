@@ -12,13 +12,20 @@ Usage::
 
 The default trace is short so the script finishes in under a minute;
 expect the relative numbers to sharpen with longer traces.
+
+Set ``REPRO_CHECK_INVARIANTS=N`` to run the model invariant checker
+every N accesses (paranoid mode) — CI uses this as a smoke test that
+every design stays structurally legal under real traffic.
 """
 
 import itertools
+import os
 import sys
 
 from repro import CmpSystem, MissClass, make_workload
 from repro.experiments import DESIGN_FACTORIES, format_table
+
+CHECK_EVERY = int(os.environ.get("REPRO_CHECK_INVARIANTS", "0"))
 
 
 def run_design(name, accesses_per_core):
@@ -27,9 +34,18 @@ def run_design(name, accesses_per_core):
     system = CmpSystem(design)
     workload = make_workload("oltp")
     events = workload.events(accesses_per_core=2 * accesses_per_core)
-    system.run(itertools.islice(events, accesses_per_core * workload.num_cores))
-    system.reset_stats()
-    system.run(events)
+    warmup_events = accesses_per_core * workload.num_cores
+    if CHECK_EVERY:
+        from repro.harness import HarnessConfig, run_events
+
+        run_events(
+            system, events, warmup_events,
+            HarnessConfig(check_every=CHECK_EVERY),
+        )
+    else:
+        system.run(itertools.islice(events, warmup_events))
+        system.reset_stats()
+        system.run(events)
     return system.stats()
 
 

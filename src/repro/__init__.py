@@ -37,6 +37,16 @@ from repro.common import (
 )
 from repro.core import NurapidCache
 from repro.cpu import CmpSystem, TimedAccess, run_workload
+from repro.harness import (
+    FaultSpec,
+    HarnessConfig,
+    HarnessRunner,
+    InvariantViolation,
+    check_system,
+    load_checkpoint,
+    run_events,
+    save_checkpoint,
+)
 from repro.workloads import (
     COMMERCIAL,
     MIXES,
@@ -56,9 +66,13 @@ __all__ = [
     "AccessType",
     "CmpSystem",
     "COMMERCIAL",
+    "FaultSpec",
+    "HarnessConfig",
+    "HarnessRunner",
     "IdealCache",
     "L1Cache",
     "L2Design",
+    "InvariantViolation",
     "MIXES",
     "MULTITHREADED",
     "MissClass",
@@ -74,7 +88,11 @@ __all__ = [
     "SyntheticWorkload",
     "SystemParams",
     "TimedAccess",
+    "check_system",
+    "load_checkpoint",
     "make_mix",
     "make_workload",
+    "run_events",
     "run_workload",
+    "save_checkpoint",
 ]

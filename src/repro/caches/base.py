@@ -131,9 +131,14 @@ class SetAssociativeArray:
                 yield set_index, way, entry
 
     def valid_entries(self) -> "Iterator[tuple[int, int, Entry]]":
-        for set_index, way, entry in self.entries():
-            if entry.valid:
-                yield set_index, way, entry
+        # Inlined (no entries()/property indirection): the invariant
+        # checker calls this on every array per check, so paranoid-mode
+        # runs execute this loop hundreds of millions of times.
+        invalid = CoherenceState.INVALID
+        for set_index, entries in enumerate(self._sets):
+            for way, entry in enumerate(entries):
+                if entry.state is not invalid:
+                    yield set_index, way, entry
 
     def entry_at(self, set_index: int, way: int) -> Entry:
         return self._sets[set_index][way]

@@ -4,12 +4,20 @@ Drives the library without writing Python::
 
     python -m repro.cli compare --workload oltp
     python -m repro.cli run --design cmp-nurapid --mix MIX1 --chart
+    python -m repro.cli run --design cmp-nurapid --check-invariants 100
+    python -m repro.cli run --checkpoint run.ck --checkpoint-every 50000
+    python -m repro.cli run --resume run.ck
+    python -m repro.cli run --inject-fault flip-pointer@1000
     python -m repro.cli experiment fig10 --quick
     python -m repro.cli latency
     python -m repro.cli trace generate --workload apache --out trace.txt
     python -m repro.cli trace run trace.txt --design private
 
 Also installed as the ``repro-sim`` console script.
+
+Exit codes: 0 success; 2 usage error (malformed or contradictory
+arguments, unreadable files); 3 invariant violation detected; 4
+watchdog timeout.
 """
 
 from __future__ import annotations
@@ -25,13 +33,31 @@ from repro.cpu.system import CmpSystem, TimedAccess
 from repro.experiments import ablations, energy_report, sensitivity, smp_contrast, suite
 from repro.experiments.charts import BarGroup, StackedBar, render_grouped_bars, render_stacked_bars
 from repro.experiments.report import format_table, pct
-from repro.experiments.runner import DESIGN_FACTORIES, ExperimentConfig, build_design
+from repro.experiments.runner import (
+    DESIGN_FACTORIES,
+    ExperimentConfig,
+    StatsCache,
+    build_design,
+)
+from repro.harness import (
+    CheckpointError,
+    HarnessConfig,
+    InvariantViolation,
+    WatchdogTimeout,
+    load_checkpoint,
+    run_events,
+)
+from repro.harness.faults import FAULT_KINDS, FaultSpecError, parse_fault_specs
 from repro.latency import cacti, tables
 from repro.workloads import tracefile
 from repro.workloads.multiprogrammed import MIXES, make_mix
 from repro.workloads.multithreaded import MULTITHREADED, make_workload
 
 _WORKLOAD_NAMES = tuple(spec.name for spec in MULTITHREADED)
+
+
+class CliError(Exception):
+    """A usage error reported as one line on stderr with exit code 2."""
 
 
 def _workload_name(args) -> str:
@@ -62,6 +88,146 @@ def _run_one(design_name: str, args):
     return design, system.stats()
 
 
+def _validate_workload_args(args) -> None:
+    """Reject malformed run lengths with a one-line usage error."""
+    if getattr(args, "accesses", 0) < 0:
+        raise CliError(f"--accesses must be >= 0, got {args.accesses}")
+    if getattr(args, "warmup", 0) < 0:
+        raise CliError(f"--warmup must be >= 0, got {args.warmup}")
+
+
+def _validate_run_args(args) -> None:
+    _validate_workload_args(args)
+    if args.check_invariants < 0:
+        raise CliError(
+            f"--check-invariants must be >= 0, got {args.check_invariants}"
+        )
+    if args.checkpoint_every <= 0:
+        raise CliError(
+            f"--checkpoint-every must be positive, got {args.checkpoint_every}"
+        )
+    if args.timeout < 0:
+        raise CliError(f"--timeout must be >= 0, got {args.timeout}")
+    if args.resume and (args.workload or args.mix):
+        raise CliError(
+            "--resume restores the checkpoint's workload; "
+            "drop --workload/--mix"
+        )
+    if args.resume and args.design:
+        raise CliError(
+            "--resume restores the checkpoint's design; drop --design"
+        )
+
+
+def _harness_active(args) -> bool:
+    """Whether any flag routed this run through the harness."""
+    return bool(
+        args.check_invariants
+        or args.checkpoint
+        or args.resume
+        or args.inject_fault
+        or args.timeout
+    )
+
+
+def _events_from_meta(meta: dict):
+    """Rebuild the deterministic event stream a checkpoint was cut from."""
+    seed = meta.get("seed", DEFAULT_SEED)
+    try:
+        if meta.get("mix"):
+            workload = make_mix(meta["mix"], seed=seed)
+        else:
+            workload = make_workload(meta.get("workload") or "oltp", seed=seed)
+        total = meta["warmup"] + meta["accesses"]
+    except KeyError as missing:
+        raise CliError(
+            f"checkpoint metadata is missing {missing}; was it written by "
+            "this CLI?"
+        ) from None
+    events = workload.events(accesses_per_core=total)
+    return events, meta["warmup"] * workload.num_cores
+
+
+def _run_harnessed(args):
+    """Run (or resume) under the harness; returns (design name, label, runner)."""
+    faults = parse_fault_specs(args.inject_fault or ())
+    if args.resume:
+        checkpoint = load_checkpoint(args.resume)
+        meta = dict(checkpoint.meta)
+        design_name = meta.get("design", "cmp-nurapid")
+        system = checkpoint.system
+        events, warmup_events = _events_from_meta(meta)
+        config = HarnessConfig(
+            check_every=args.check_invariants,
+            checkpoint_path=args.checkpoint or args.resume,
+            checkpoint_every=args.checkpoint_every,
+            timeout_seconds=args.timeout,
+            faults=faults,
+            seed=meta.get("seed", DEFAULT_SEED),
+        )
+        runner = run_events(
+            system,
+            events,
+            warmup_events,
+            config,
+            start_index=checkpoint.event_index,
+            meta=meta,
+            stats_reset=bool(meta.get("stats_reset")),
+        )
+        label = meta.get("mix") or meta.get("workload") or "oltp"
+        return design_name, label, runner
+    design_name = args.design or "cmp-nurapid"
+    system = CmpSystem(build_design(design_name))
+    events, warmup_events, _ = _make_events(args)
+    meta = {
+        "design": design_name,
+        "workload": args.workload,
+        "mix": args.mix,
+        "seed": args.seed,
+        "accesses": args.accesses,
+        "warmup": args.warmup,
+    }
+    config = HarnessConfig(
+        check_every=args.check_invariants,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        timeout_seconds=args.timeout,
+        faults=faults,
+        seed=args.seed,
+    )
+    runner = run_events(system, events, warmup_events, config, meta=meta)
+    return design_name, _workload_name(args), runner
+
+
+def _print_harness_summary(runner) -> None:
+    config = runner.config
+    notes = []
+    if config.check_every:
+        notes.append(f"invariants checked every {config.check_every} event(s)")
+    if runner.injector is not None:
+        applied = sum(1 for record in runner.injector.log if record.applied)
+        notes.append(
+            f"faults applied: {applied}/{len(runner.injector.log)}"
+        )
+        for record in runner.injector.log:
+            status = "applied" if record.applied else "skipped"
+            notes.append(
+                f"  {record.spec.kind}@{record.spec.at_index} "
+                f"[{status}] {record.description}"
+            )
+    if config.checkpoint_path:
+        notes.append(
+            f"checkpoint: {config.checkpoint_path} "
+            f"(every {config.checkpoint_every} events, "
+            f"last at event {runner.event_index})"
+        )
+    if notes:
+        print()
+        print("harness:")
+        for note in notes:
+            print(f"  {note}")
+
+
 def _stats_row(name: str, stats, baseline_throughput: "Optional[float]"):
     acc = stats.accesses
     rel = (
@@ -80,14 +246,24 @@ def _stats_row(name: str, stats, baseline_throughput: "Optional[float]"):
 
 
 def cmd_run(args) -> int:
-    design, stats = _run_one(args.design, args)
-    print(f"design: {args.design}")
-    print(f"workload: {_workload_name(args)}")
+    _validate_run_args(args)
+    runner = None
+    if _harness_active(args):
+        design_name, label, runner = _run_harnessed(args)
+        # One final snapshot so a finished run's checkpoint is current.
+        runner.checkpoint()
+        stats = runner.system.stats()
+    else:
+        design_name = args.design or "cmp-nurapid"
+        _, stats = _run_one(design_name, args)
+        label = _workload_name(args)
+    print(f"design: {design_name}")
+    print(f"workload: {label}")
     print()
     print(
         format_table(
             ["design", "hits", "ROS", "RWS", "capacity", "rel. perf"],
-            [_stats_row(args.design, stats, None)],
+            [_stats_row(design_name, stats, None)],
         )
     )
     print()
@@ -103,7 +279,7 @@ def cmd_run(args) -> int:
         )
     if args.chart:
         bar = StackedBar(
-            args.design,
+            design_name,
             {
                 "hit": stats.accesses.fraction(MissClass.HIT),
                 "ros": stats.accesses.fraction(MissClass.ROS),
@@ -113,10 +289,13 @@ def cmd_run(args) -> int:
         )
         print()
         print(render_stacked_bars([bar], baseline=0.0))
+    if runner is not None:
+        _print_harness_summary(runner)
     return 0
 
 
 def cmd_compare(args) -> int:
+    _validate_workload_args(args)
     rows = []
     chart_groups = {}
     baseline = None
@@ -144,8 +323,9 @@ def cmd_compare(args) -> int:
 def cmd_experiment(args) -> int:
     config = ExperimentConfig.quick() if args.quick else ExperimentConfig()
     name = args.name
+    cache = StatsCache(path=args.cache) if args.cache else None
     if name == "all":
-        print(suite.run_suite(config).render())
+        print(suite.run_suite(config, cache_path=args.cache).render())
         return 0
     if name == "energy":
         print(energy_report.run(config).report.render())
@@ -161,7 +341,12 @@ def cmd_experiment(args) -> int:
         return 0
     if name in suite.EXPERIMENTS:
         run_fn, render_full = suite.EXPERIMENTS[name]
-        result = run_fn() if name == "table1" else run_fn(config)
+        if name == "table1":
+            result = run_fn()
+        elif cache is not None:
+            result = run_fn(config, cache=cache)
+        else:
+            result = run_fn(config)
         print(result.report.render())
         if render_full is not None:
             print()
@@ -196,6 +381,7 @@ def cmd_latency(args) -> int:
 
 
 def cmd_trace_generate(args) -> int:
+    _validate_workload_args(args)
     if args.mix:
         workload = make_mix(args.mix, seed=args.seed)
     else:
@@ -257,11 +443,53 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run_parser = sub.add_parser("run", help="run one design on one workload")
-    run_parser.add_argument(
-        "--design", choices=sorted(DESIGN_FACTORIES), default="cmp-nurapid"
-    )
+    # No argparse default: --resume restores the design from the
+    # checkpoint, and a defaulted --design would be indistinguishable
+    # from an explicit (conflicting) one.  cmd_run falls back to
+    # cmp-nurapid when neither is given.
+    run_parser.add_argument("--design", choices=sorted(DESIGN_FACTORIES))
     _add_workload_options(run_parser)
     run_parser.add_argument("--chart", action="store_true")
+    harness_group = run_parser.add_argument_group("robustness harness")
+    harness_group.add_argument(
+        "--check-invariants",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run the model invariant checker every N events "
+        "(1 = paranoid mode, 0 = off)",
+    )
+    harness_group.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        help="periodically snapshot full simulator state to PATH",
+    )
+    harness_group.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=50_000,
+        metavar="K",
+        help="events between checkpoints (default: 50000)",
+    )
+    harness_group.add_argument(
+        "--resume",
+        metavar="PATH",
+        help="resume a killed run from its checkpoint (bit-identical)",
+    )
+    harness_group.add_argument(
+        "--inject-fault",
+        action="append",
+        metavar="KIND@INDEX",
+        help="inject a fault, e.g. flip-pointer@1000 (repeatable); "
+        f"kinds: {', '.join(FAULT_KINDS)}",
+    )
+    harness_group.add_argument(
+        "--timeout",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="wall-clock watchdog budget (0 = off)",
+    )
     run_parser.set_defaults(func=cmd_run)
 
     compare_parser = sub.add_parser(
@@ -291,6 +519,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="table1, fig5..fig12, an ablation name, 'energy', or 'all'",
     )
     experiment_parser.add_argument("--quick", action="store_true")
+    experiment_parser.add_argument(
+        "--cache",
+        metavar="PATH",
+        help="persist per-(workload, design) stats to PATH so an "
+        "interrupted sweep resumes instead of re-simulating",
+    )
     experiment_parser.set_defaults(func=cmd_experiment)
 
     latency_parser = sub.add_parser("latency", help="print Table 1 latencies")
@@ -315,7 +549,32 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: "Optional[Sequence[str]]" = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except InvariantViolation as violation:
+        print(f"invariant violation: {violation}", file=sys.stderr)
+        if violation.dump_path:
+            print(
+                f"replayable event window: {violation.dump_path}",
+                file=sys.stderr,
+            )
+        return 3
+    except WatchdogTimeout as timeout:
+        print(f"watchdog timeout: {timeout}", file=sys.stderr)
+        if timeout.dump_path:
+            print(
+                f"replayable event window: {timeout.dump_path}",
+                file=sys.stderr,
+            )
+        return 4
+    except (CliError, FaultSpecError, CheckpointError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        # Unreadable trace/checkpoint/output paths are usage errors,
+        # not tracebacks.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -768,56 +768,14 @@ class NurapidCache(L2Design):
     def check_invariants(self) -> None:
         """Verify pointer and protocol integrity (tests/debug only).
 
-        * every valid tag entry's forward pointer names an occupied
-          frame holding that entry's block;
-        * every occupied frame's reverse pointer names a valid tag
-          entry whose forward pointer points straight back (ownership);
-        * per block: at most one M/E copy and no M/E alongside other
-          copies; C and S tag copies never coexist; all C copies point
-          to a single shared frame; M/E/C blocks have exactly one frame.
+        Delegates to :func:`repro.harness.invariants.check_nurapid`
+        (imported lazily — the harness imports this module), which
+        checks tag-pointer/frame consistency, frame ownership and
+        free-list accounting, MESIC exclusivity and C-state legality,
+        and the single-dirty-copy rule.  Raises
+        :class:`~repro.harness.invariants.InvariantViolation` (an
+        :class:`AssertionError` subclass) with structured context.
         """
-        # Tag -> frame integrity, and per-address state collection.
-        per_address: "dict[int, list[tuple[int, NurapidTagEntry]]]" = {}
-        for core, tag_array in enumerate(self.tags):
-            for set_index, _way, entry in tag_array.array.valid_entries():
-                address = tag_array.array.block_address(set_index, entry)
-                nur_entry: NurapidTagEntry = entry  # type: ignore[assignment]
-                if nur_entry.fwd is None:
-                    raise AssertionError(f"valid tag without forward pointer @{address:#x}")
-                frame = self.data.frame(nur_entry.fwd)
-                if not frame.valid or frame.address != address:
-                    raise AssertionError(
-                        f"dangling forward pointer {nur_entry.fwd} @{address:#x}"
-                    )
-                per_address.setdefault(address, []).append((core, nur_entry))
+        from repro.harness.invariants import check_nurapid
 
-        # Frame -> tag ownership integrity.
-        for dgroup in self.data.dgroups:
-            for index, frame in enumerate(dgroup.frames):
-                if not frame.valid:
-                    continue
-                ptr = FramePtr(dgroup.index, index)
-                owner = self._owner_entry(ptr)
-                if not owner.valid or owner.fwd != ptr:
-                    raise AssertionError(f"frame {ptr} has a non-owning reverse pointer")
-
-        # Protocol invariants per block.
-        for address, holders in per_address.items():
-            states = [entry.state for _, entry in holders]
-            exclusive = [s for s in states if s.is_exclusive]
-            if len(exclusive) > 1 or (exclusive and len(states) > 1):
-                raise AssertionError(f"exclusivity violated @{address:#x}: {states}")
-            has_c = any(s is C for s in states)
-            if has_c:
-                if any(s is S for s in states):
-                    raise AssertionError(f"C and S coexist @{address:#x}")
-                frames = {entry.fwd for _, entry in holders}
-                if len(frames) != 1:
-                    raise AssertionError(
-                        f"C block with {len(frames)} data copies @{address:#x}"
-                    )
-            copies = len(list(self.data.frames_holding(address)))
-            if states and states[0].is_exclusive and copies != 1:
-                raise AssertionError(
-                    f"exclusive block with {copies} data copies @{address:#x}"
-                )
+        check_nurapid(self)

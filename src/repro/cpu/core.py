@@ -22,12 +22,34 @@ from dataclasses import dataclass
 
 @dataclass
 class InOrderCore:
-    """Cycle accounting for one core."""
+    """Cycle accounting for one core.
+
+    ``instructions``/``cycles`` are monotonic for the core's lifetime —
+    they double as the hierarchy's virtual clock, so they must never
+    move backwards (e.g. across a warm-up statistics reset).  Measured
+    statistics subtract the ``*_at_reset`` baselines recorded by
+    :meth:`reset_stats`.
+    """
 
     core_id: int
     l1_latency: int = 3
     instructions: int = 0
     cycles: int = 0
+    instructions_at_reset: int = 0
+    cycles_at_reset: int = 0
+
+    def reset_stats(self) -> None:
+        """Start a measurement window; the clock itself keeps running."""
+        self.instructions_at_reset = self.instructions
+        self.cycles_at_reset = self.cycles
+
+    @property
+    def measured_instructions(self) -> int:
+        return self.instructions - self.instructions_at_reset
+
+    @property
+    def measured_cycles(self) -> int:
+        return self.cycles - self.cycles_at_reset
 
     def execute_gap(self, instructions: int) -> None:
         """Run ``instructions`` non-memory instructions."""
@@ -47,4 +69,5 @@ class InOrderCore:
 
     @property
     def ipc(self) -> float:
-        return self.instructions / self.cycles if self.cycles else 0.0
+        cycles = self.measured_cycles
+        return self.measured_instructions / cycles if cycles else 0.0

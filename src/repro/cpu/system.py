@@ -106,17 +106,34 @@ class CmpSystem:
         return result.latency
 
     def reset_stats(self) -> None:
-        """Clear all statistics after a warm-up phase; state is kept."""
+        """Clear all statistics after a warm-up phase; state is kept.
+
+        Core cycle counters are *preserved* (only their measurement
+        baselines move): they double as the hierarchy's virtual clock
+        (the ``now`` passed to the L2), so recreating cores here would
+        send post-warm-up timestamps backwards relative to pre-warm-up
+        fills — the harness's ``timestamp-monotonic`` invariant.
+        """
         self.design.reset_stats()
-        self.cores = [
-            InOrderCore(i, self.params.l1.latency)
-            for i in range(self.params.num_cores)
-        ]
+        for core in self.cores:
+            core.reset_stats()
         for l1 in self.l1s:
             l1.stats = type(l1.stats)()
 
+    def step(self, event: TimedAccess) -> None:
+        """Execute one timed access (the harness's unit of work)."""
+        core = self.cores[event.access.core]
+        if event.gap:
+            core.execute_gap(event.gap)
+        if event.colocated:
+            core.execute_colocated(event.colocated)
+        core.execute_memory(self.access(event.access))
+
     def run(self, events: "Iterable[TimedAccess]") -> None:
-        """Execute a stream of timed accesses."""
+        """Execute a stream of timed accesses.
+
+        Inlines :meth:`step` — this loop is the simulator's hot path.
+        """
         for event in events:
             core = self.cores[event.access.core]
             if event.gap:
@@ -129,7 +146,8 @@ class CmpSystem:
         """Collect the run's statistics from every component."""
         stats = SimulationStats(accesses=self.design.stats)
         stats.per_core = [
-            CoreTiming(core.instructions, core.cycles) for core in self.cores
+            CoreTiming(core.measured_instructions, core.measured_cycles)
+            for core in self.cores
         ]
         reuse = getattr(self.design, "reuse", None)
         if reuse is not None:

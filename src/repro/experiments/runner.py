@@ -183,10 +183,51 @@ class StatsCache:
     Figures 5-10 share most of their underlying simulations; a suite run
     passes one cache to every experiment so each (workload, design)
     pair is simulated exactly once.
+
+    With a ``path``, the cache also persists: every completed run is
+    written back to disk (atomically — tmp file + rename), and a fresh
+    process pointed at the same path skips every pair already simulated.
+    A sweep killed halfway therefore resumes where it stopped instead of
+    re-simulating from scratch.  A missing file starts empty; a
+    corrupt/unreadable one is ignored (the sweep re-simulates).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, path: "Optional[str]" = None) -> None:
+        self.path = path
         self._cache: "Dict[tuple, SimulationStats]" = {}
+        if path is not None:
+            self._cache.update(self._load(path))
+
+    @staticmethod
+    def _load(path: str) -> "Dict[tuple, SimulationStats]":
+        import pickle
+
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+        except FileNotFoundError:
+            return {}
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            # A truncated or stale cache is not fatal: re-simulate.
+            return {}
+        if not isinstance(payload, dict):
+            return {}
+        return payload
+
+    def _persist(self) -> None:
+        if self.path is None:
+            return
+        import os
+        import pickle
+
+        tmp = f"{self.path}.tmp"
+        with open(tmp, "wb") as handle:
+            pickle.dump(self._cache, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, self.path)
+
+    def __len__(self) -> int:
+        return len(self._cache)
 
     def get(
         self,
@@ -201,4 +242,5 @@ class StatsCache:
             runner = run_mix if multiprogrammed else run_multithreaded
             _, stats = runner(factory(), workload, config)
             self._cache[key] = stats
+            self._persist()
         return self._cache[key]

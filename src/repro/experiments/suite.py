@@ -47,10 +47,18 @@ class SuiteResult:
         return "\n\n\n".join(self.sections.values())
 
 
-def run_suite(config: "Optional[ExperimentConfig]" = None) -> SuiteResult:
-    """Run all experiments, sharing simulations through one cache."""
+def run_suite(
+    config: "Optional[ExperimentConfig]" = None,
+    cache_path: "Optional[str]" = None,
+) -> SuiteResult:
+    """Run all experiments, sharing simulations through one cache.
+
+    With ``cache_path`` the cache persists to disk after every completed
+    (workload, design) run, so a killed suite resumes instead of
+    re-simulating (see :class:`~repro.experiments.runner.StatsCache`).
+    """
     config = config or ExperimentConfig()
-    cache = StatsCache()
+    cache = StatsCache(path=cache_path)
     sections: "dict[str, str]" = {}
     for name, (run_fn, render_full) in EXPERIMENTS.items():
         if name == "table1":

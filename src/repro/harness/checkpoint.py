@@ -1,0 +1,88 @@
+"""Checkpoint/resume: snapshot full simulator state, resume bit-identically.
+
+A checkpoint pickles the whole :class:`~repro.cpu.system.CmpSystem` —
+caches (tag arrays, data frames, free lists, LRU clocks), coherence
+state, statistics, the design's RNG streams, and per-core timing —
+plus the global event index and caller metadata (design name, workload,
+seed, run lengths) so the CLI can rebuild the deterministic event
+stream, skip the already-consumed prefix, and continue exactly where a
+killed run stopped.  Because every stochastic component draws from
+pickled :mod:`numpy` generators and the workload generators are pure
+functions of (seed, events consumed), a resumed run finishes with
+bit-identical :class:`~repro.common.stats.SimulationStats`.
+
+Files are written atomically (temp file + ``os.replace``) so a run
+killed mid-checkpoint never leaves a truncated snapshot behind.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+#: Bump when the payload layout changes; load refuses mismatches.
+FORMAT_VERSION = 1
+
+_MAGIC = "repro-checkpoint"
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file is missing, truncated, or incompatible."""
+
+
+@dataclass
+class Checkpoint:
+    """One restored snapshot."""
+
+    event_index: int
+    system: Any
+    meta: "Dict[str, Any]" = field(default_factory=dict)
+
+
+def save_checkpoint(
+    system,
+    event_index: int,
+    path: "Union[str, Path]",
+    meta: "Optional[Dict[str, Any]]" = None,
+) -> None:
+    """Atomically write a full-state snapshot to ``path``."""
+    payload = {
+        "magic": _MAGIC,
+        "version": FORMAT_VERSION,
+        "event_index": event_index,
+        "meta": dict(meta or {}),
+        "system": system,
+    }
+    path = Path(path)
+    temp = path.with_name(path.name + ".tmp")
+    with open(temp, "wb") as handle:
+        pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    os.replace(temp, path)
+
+
+def load_checkpoint(path: "Union[str, Path]") -> Checkpoint:
+    """Load a snapshot written by :func:`save_checkpoint`."""
+    path = Path(path)
+    if not path.exists():
+        raise CheckpointError(f"checkpoint {path} does not exist")
+    try:
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+    except (OSError, pickle.UnpicklingError, EOFError) as error:
+        raise CheckpointError(f"checkpoint {path} is unreadable: {error}") from None
+    if not isinstance(payload, dict) or payload.get("magic") != _MAGIC:
+        raise CheckpointError(f"{path} is not a repro checkpoint")
+    version = payload.get("version")
+    if version != FORMAT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path} has format version {version}; "
+            f"this build reads version {FORMAT_VERSION}"
+        )
+    return Checkpoint(
+        event_index=payload["event_index"],
+        system=payload["system"],
+        meta=payload.get("meta", {}),
+    )

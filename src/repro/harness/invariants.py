@@ -1,0 +1,361 @@
+"""Runtime invariant checker for every simulated design.
+
+The checks formalize the model's cross-structure contracts:
+
+* **MESIC legality** — per block: at most one M/E copy, M/E never
+  alongside other copies, C and S tag copies never coexist;
+* **pointer integrity** (CMP-NuRAPID) — every valid tag entry's forward
+  pointer names an occupied frame holding that block, every occupied
+  frame's reverse pointer names a valid owner tag pointing straight
+  back, and each d-group's free list agrees with its frames;
+* **single-dirty-copy** — a dirty frame's owner holds a dirty state
+  (M or C), a C block has exactly one data copy and it is dirty,
+  exclusive blocks have exactly one copy;
+* **L1 inclusion** — every valid L1 block is covered by a live L2 copy
+  reachable by that core.
+
+A failed check raises :class:`InvariantViolation` with a minimal repro
+context (invariant name, access index, block address, cores, states)
+instead of a bare assert, so harness users and the CLI can report — and
+tests can assert on — exactly which contract broke.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.caches.ideal import IdealCache
+from repro.caches.l1 import L1Cache
+from repro.caches.private import PrivateCaches
+from repro.caches.shared import SharedCache
+from repro.caches.snuca import SnucaCache
+from repro.coherence.states import CoherenceState
+from repro.common.types import block_address
+from repro.core.nurapid import NurapidCache
+from repro.core.pointers import FramePtr
+
+M = CoherenceState.MODIFIED
+E = CoherenceState.EXCLUSIVE
+S = CoherenceState.SHARED
+C = CoherenceState.COMMUNICATION
+
+
+class InvariantViolation(AssertionError):
+    """A cross-structure model invariant does not hold.
+
+    Subclasses :class:`AssertionError` so callers that treated the old
+    ad-hoc asserts as assertion failures keep working.  Attributes give
+    the minimal context needed to reproduce and triage:
+
+    Attributes:
+        invariant: short name of the violated contract (e.g.
+            ``"tag-pointer"``, ``"exclusivity"``, ``"l1-inclusion"``).
+        access_index: global event index at detection time (filled in
+            by the harness runner; None for on-demand checks).
+        address: block address involved, if any.
+        cores: cores holding copies involved in the violation.
+        states: their coherence states.
+        details: free-form extra context.
+    """
+
+    def __init__(
+        self,
+        invariant: str,
+        message: str,
+        *,
+        access_index: "Optional[int]" = None,
+        address: "Optional[int]" = None,
+        cores: "Sequence[int]" = (),
+        states: "Sequence[CoherenceState]" = (),
+        details: "Optional[str]" = None,
+    ) -> None:
+        self.invariant = invariant
+        self.message = message
+        self.access_index = access_index
+        self.address = address
+        self.cores = tuple(cores)
+        self.states = tuple(states)
+        self.details = details
+        self.dump_path: "Optional[str]" = None
+        super().__init__(self._render())
+
+    def _render(self) -> str:
+        parts = [f"[{self.invariant}] {self.message}"]
+        if self.access_index is not None:
+            parts.append(f"access={self.access_index}")
+        if self.address is not None:
+            parts.append(f"block={self.address:#x}")
+        if self.cores:
+            parts.append(f"cores={list(self.cores)}")
+        if self.states:
+            parts.append(f"states=[{', '.join(s.value for s in self.states)}]")
+        if self.details:
+            parts.append(self.details)
+        return " ".join(parts)
+
+    def __str__(self) -> str:  # keep the context after pickling round-trips
+        return self._render()
+
+
+# ----------------------------------------------------------------------
+# CMP-NuRAPID
+
+def check_nurapid(cache: NurapidCache, access_index: "Optional[int]" = None) -> None:
+    """Verify pointer and protocol integrity of a CMP-NuRAPID instance."""
+    # Tag -> frame integrity, and per-address holder collection.
+    per_address: "dict[int, list[tuple[int, object]]]" = {}
+    for core, tag_array in enumerate(cache.tags):
+        for set_index, _way, entry in tag_array.array.valid_entries():
+            address = tag_array.array.block_address(set_index, entry)
+            if entry.fwd is None:
+                raise InvariantViolation(
+                    "tag-pointer",
+                    "valid tag entry without a forward pointer",
+                    access_index=access_index,
+                    address=address,
+                    cores=(core,),
+                    states=(entry.state,),
+                )
+            frame = cache.data.frame(entry.fwd)
+            if not frame.valid or frame.address != address:
+                raise InvariantViolation(
+                    "tag-pointer",
+                    f"dangling forward pointer {entry.fwd}",
+                    access_index=access_index,
+                    address=address,
+                    cores=(core,),
+                    states=(entry.state,),
+                    details=(
+                        f"frame valid={frame.valid} holds={frame.address:#x}"
+                        if frame.valid
+                        else "frame is free"
+                    ),
+                )
+            per_address.setdefault(address, []).append((core, entry))
+
+    # Frame -> tag ownership and free-list accounting, plus one pass
+    # collecting the frames holding each address (for copy counting).
+    frames_of: "dict[int, list[FramePtr]]" = {}
+    dirty_frames_of: "dict[int, list[FramePtr]]" = {}
+    for dgroup in cache.data.dgroups:
+        valid_count = 0
+        for index, frame in enumerate(dgroup.frames):
+            if not frame.valid:
+                continue
+            valid_count += 1
+            ptr = FramePtr(dgroup.index, index)
+            frames_of.setdefault(frame.address, []).append(ptr)
+            if frame.dirty:
+                dirty_frames_of.setdefault(frame.address, []).append(ptr)
+            if frame.rev is None:
+                raise InvariantViolation(
+                    "frame-ownership",
+                    f"occupied frame {ptr} has no reverse pointer",
+                    access_index=access_index,
+                    address=frame.address,
+                )
+            owner = cache.tags[frame.rev.core].entry_at(frame.rev)
+            if not owner.valid or owner.fwd != ptr:
+                raise InvariantViolation(
+                    "frame-ownership",
+                    f"frame {ptr} reverse pointer names a non-owning tag",
+                    access_index=access_index,
+                    address=frame.address,
+                    cores=(frame.rev.core,),
+                    states=(owner.state,) if owner.valid else (),
+                    details=f"owner.fwd={owner.fwd}",
+                )
+        if valid_count + dgroup.free_count != dgroup.num_frames:
+            raise InvariantViolation(
+                "frame-accounting",
+                f"d-group {dgroup.index}: {valid_count} occupied + "
+                f"{dgroup.free_count} free != {dgroup.num_frames} frames",
+                access_index=access_index,
+            )
+
+    # Protocol invariants per block.
+    for address, holders in per_address.items():
+        cores = [core for core, _ in holders]
+        states = [entry.state for _, entry in holders]
+        exclusive = [s for s in states if s.is_exclusive]
+        if len(exclusive) > 1 or (exclusive and len(states) > 1):
+            raise InvariantViolation(
+                "exclusivity",
+                "M/E copy coexists with other copies",
+                access_index=access_index,
+                address=address,
+                cores=cores,
+                states=states,
+            )
+        copies = frames_of.get(address, [])
+        dirty_copies = dirty_frames_of.get(address, [])
+        if any(s is C for s in states):
+            if any(s is S for s in states):
+                raise InvariantViolation(
+                    "c-state",
+                    "C and S tag copies coexist",
+                    access_index=access_index,
+                    address=address,
+                    cores=cores,
+                    states=states,
+                )
+            pointed = {entry.fwd for _, entry in holders}
+            if len(pointed) != 1:
+                raise InvariantViolation(
+                    "c-state",
+                    f"C sharers point at {len(pointed)} distinct frames",
+                    access_index=access_index,
+                    address=address,
+                    cores=cores,
+                    states=states,
+                )
+            if len(dirty_copies) != 1:
+                raise InvariantViolation(
+                    "c-state",
+                    f"C block has {len(dirty_copies)} dirty copies (need 1)",
+                    access_index=access_index,
+                    address=address,
+                    cores=cores,
+                    states=states,
+                )
+        if states and states[0].is_exclusive and len(copies) != 1:
+            raise InvariantViolation(
+                "single-dirty-copy",
+                f"exclusive block has {len(copies)} data copies",
+                access_index=access_index,
+                address=address,
+                cores=cores,
+                states=states,
+            )
+        if len(dirty_copies) > 1:
+            raise InvariantViolation(
+                "single-dirty-copy",
+                f"block has {len(dirty_copies)} dirty data copies",
+                access_index=access_index,
+                address=address,
+                cores=cores,
+                states=states,
+            )
+        if dirty_copies and not any(s.is_dirty for s in states):
+            raise InvariantViolation(
+                "dirty-copy",
+                "dirty data copy whose holders are all clean-state",
+                access_index=access_index,
+                address=address,
+                cores=cores,
+                states=states,
+            )
+
+
+# ----------------------------------------------------------------------
+# Baseline designs
+
+def check_mesi(caches: PrivateCaches, access_index: "Optional[int]" = None) -> None:
+    """MESI global legality across the private caches."""
+    per_address: "dict[int, list[tuple[int, CoherenceState]]]" = {}
+    for core, controller in enumerate(caches.controllers):
+        for set_index, _way, entry in controller.array.valid_entries():
+            address = controller.array.block_address(set_index, entry)
+            per_address.setdefault(address, []).append((core, entry.state))
+    for address, holders in per_address.items():
+        cores = [core for core, _ in holders]
+        states = [state for _, state in holders]
+        if any(s is C for s in states):
+            raise InvariantViolation(
+                "mesi-legality",
+                "MESI cache holds the MESIC-only C state",
+                access_index=access_index,
+                address=address,
+                cores=cores,
+                states=states,
+            )
+        exclusive = [s for s in states if s.is_exclusive]
+        if len(exclusive) > 1 or (exclusive and len(states) > 1):
+            raise InvariantViolation(
+                "exclusivity",
+                "M/E copy coexists with other copies",
+                access_index=access_index,
+                address=address,
+                cores=cores,
+                states=states,
+            )
+
+
+def _check_shared_array(
+    design, arrays: Iterable, access_index: "Optional[int]" = None
+) -> None:
+    """Shared designs hold one copy per block; C must never appear."""
+    for array in arrays:
+        for set_index, _way, entry in array.valid_entries():
+            if entry.state is C:
+                raise InvariantViolation(
+                    "mesi-legality",
+                    f"{design.name} cache holds the MESIC-only C state",
+                    access_index=access_index,
+                    address=array.block_address(set_index, entry),
+                    states=(entry.state,),
+                )
+
+
+# ----------------------------------------------------------------------
+# L1 inclusion
+
+def design_contains(design, core: int, address: int) -> "Optional[bool]":
+    """Does ``design`` hold a copy of ``address`` visible to ``core``?
+
+    Returns None for designs the harness does not know how to probe
+    (inclusion is then not checked for them).
+    """
+    if isinstance(design, NurapidCache):
+        block = block_address(address, design.block_size)
+        return design.tags[core].lookup(block, touch=False) is not None
+    if isinstance(design, PrivateCaches):
+        array = design.controllers[core].array
+        return array.lookup(address, touch=False) is not None
+    if isinstance(design, (SharedCache, IdealCache)):
+        return design.array.lookup(address, touch=False) is not None
+    if isinstance(design, SnucaCache):
+        bank = design.banks[design.bank_of(address)]
+        return bank.lookup(design._local_address(address), touch=False) is not None
+    return None
+
+
+def check_inclusion(system, access_index: "Optional[int]" = None) -> None:
+    """Every valid L1 block must be included in the L2 for its core."""
+    design = system.design
+    for core, l1 in enumerate(system.l1s):
+        if not isinstance(l1, L1Cache):  # pragma: no cover - defensive
+            continue
+        for set_index, _way, entry in l1.array.valid_entries():
+            address = l1.array.block_address(set_index, entry)
+            present = design_contains(design, core, address)
+            if present is False:
+                raise InvariantViolation(
+                    "l1-inclusion",
+                    "L1 block not covered by any live L2 copy",
+                    access_index=access_index,
+                    address=address,
+                    cores=(core,),
+                    states=(entry.state,),
+                )
+
+
+# ----------------------------------------------------------------------
+# Entry points
+
+def check_design(design, access_index: "Optional[int]" = None) -> None:
+    """Run the design-specific invariant suite for ``design``."""
+    if isinstance(design, NurapidCache):
+        check_nurapid(design, access_index)
+    elif isinstance(design, PrivateCaches):
+        check_mesi(design, access_index)
+    elif isinstance(design, (SharedCache, IdealCache)):
+        _check_shared_array(design, [design.array], access_index)
+    elif isinstance(design, SnucaCache):
+        _check_shared_array(design, design.banks, access_index)
+
+
+def check_system(system, access_index: "Optional[int]" = None) -> None:
+    """Full-system check: design invariants plus L1 inclusion."""
+    check_design(system.design, access_index)
+    check_inclusion(system, access_index)

@@ -1,0 +1,213 @@
+"""Harness runner: paranoid mode, checkpoints, watchdog, crash dumps.
+
+:class:`HarnessRunner` drives a :class:`~repro.cpu.system.CmpSystem`
+through an event stream like :meth:`CmpSystem.run`, adding the
+robustness machinery long simulations need:
+
+* **paranoid mode** — run the full-system invariant checker every N
+  accesses (``check_every``), so a silent model corruption is caught at
+  the access where it happens, not as a wrong figure-level number;
+* **timestamp monotonicity** — per-core cycle counts must never move
+  backwards (the invariant that catches the historical ``reset_stats``
+  core-recreation bug);
+* **fault injection** — scheduled corruptions applied between events,
+  for checker validation and chaos runs;
+* **checkpointing** — a full-state snapshot every K events, enabling
+  bit-identical resume of a killed run;
+* **watchdog** — a wall-clock budget; a hung or runaway run raises
+  :class:`WatchdogTimeout` instead of blocking a sweep forever;
+* **event-window dump** — on an unrecoverable error the last W events
+  are written as a replayable trace file (the minimal repro input) and
+  its path attached to the raised exception.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+from repro.common.rng import DEFAULT_SEED
+from repro.harness.checkpoint import save_checkpoint
+from repro.harness.faults import FaultInjector, FaultSpec
+from repro.harness.invariants import InvariantViolation, check_system
+
+
+class WatchdogTimeout(RuntimeError):
+    """The run exceeded its wall-clock budget."""
+
+    def __init__(self, message: str, event_index: int) -> None:
+        super().__init__(message)
+        self.event_index = event_index
+        self.dump_path: "Optional[str]" = None
+
+
+@dataclass(frozen=True)
+class HarnessConfig:
+    """Knobs for one harnessed run.
+
+    ``check_every=1`` is full paranoid mode (checker after every
+    access); 0 disables checking.  ``checkpoint_every`` is in events
+    and only takes effect with a ``checkpoint_path``.  A
+    ``timeout_seconds`` of 0 disables the watchdog.  ``dump_path``
+    overrides where the event-window trace is written on error
+    (default: next to the checkpoint, or ``harness-window.trace``).
+    """
+
+    check_every: int = 0
+    checkpoint_path: "Optional[str]" = None
+    checkpoint_every: int = 50_000
+    timeout_seconds: float = 0.0
+    faults: "Tuple[FaultSpec, ...]" = ()
+    seed: int = DEFAULT_SEED
+    window_size: int = 64
+    dump_path: "Optional[str]" = None
+
+
+class HarnessRunner:
+    """Drives one system with the robustness machinery enabled."""
+
+    def __init__(
+        self,
+        system,
+        config: "Optional[HarnessConfig]" = None,
+        meta: "Optional[Dict[str, Any]]" = None,
+    ) -> None:
+        self.system = system
+        self.config = config or HarnessConfig()
+        self.meta = dict(meta or {})
+        self.event_index = 0
+        self.stats_reset = False
+        self.injector = (
+            FaultInjector(self.config.faults, self.config.seed)
+            if self.config.faults
+            else None
+        )
+        self.window: "deque" = deque(maxlen=max(1, self.config.window_size))
+        self._deadline: "Optional[float]" = None
+        self._cycle_watermarks = [core.cycles for core in system.cores]
+
+    # ------------------------------------------------------------------
+
+    def run(self, events: "Iterable") -> None:
+        """Execute ``events``, applying the configured machinery.
+
+        Raises :class:`InvariantViolation` on a failed check (with the
+        event-window dump path attached), :class:`WatchdogTimeout` on
+        an exceeded wall-clock budget.
+        """
+        config = self.config
+        if config.timeout_seconds and self._deadline is None:
+            self._deadline = time.monotonic() + config.timeout_seconds
+        system = self.system
+        check_every = config.check_every
+        checkpoint_every = (
+            config.checkpoint_every if config.checkpoint_path else 0
+        )
+        index = self.event_index
+        try:
+            for event in events:
+                if self.injector is not None:
+                    self.injector.maybe_inject(system, index)
+                self.window.append(event)
+                system.step(event)
+                index += 1
+                self.event_index = index
+                self._check_monotonic(index)
+                if check_every and index % check_every == 0:
+                    check_system(system, access_index=index)
+                if checkpoint_every and index % checkpoint_every == 0:
+                    self.checkpoint()
+                if self._deadline is not None and time.monotonic() > self._deadline:
+                    raise WatchdogTimeout(
+                        f"run exceeded {config.timeout_seconds:g}s "
+                        f"wall-clock budget at event {index}",
+                        event_index=index,
+                    )
+        except (InvariantViolation, WatchdogTimeout) as error:
+            error.dump_path = self.dump_window()
+            if isinstance(error, InvariantViolation) and error.access_index is None:
+                error.access_index = index
+            raise
+
+    def _check_monotonic(self, index: int) -> None:
+        """Per-core cycle counts form the model's clock; enforce order."""
+        for core_id, core in enumerate(self.system.cores):
+            if core.cycles < self._cycle_watermarks[core_id]:
+                raise InvariantViolation(
+                    "timestamp-monotonic",
+                    f"core {core_id} cycles went backwards "
+                    f"({self._cycle_watermarks[core_id]} -> {core.cycles})",
+                    access_index=index,
+                    cores=(core_id,),
+                )
+            self._cycle_watermarks[core_id] = core.cycles
+
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Write a snapshot now (also called on the periodic schedule)."""
+        if not self.config.checkpoint_path:
+            return
+        meta = dict(self.meta)
+        meta["stats_reset"] = self.stats_reset
+        save_checkpoint(
+            self.system, self.event_index, self.config.checkpoint_path, meta
+        )
+
+    def dump_window(self) -> "Optional[str]":
+        """Write the recent-event window as a replayable trace file."""
+        if not self.window:
+            return None
+        from repro.workloads import tracefile
+
+        path = self.config.dump_path
+        if path is None:
+            if self.config.checkpoint_path:
+                checkpoint = Path(self.config.checkpoint_path)
+                path = str(checkpoint.with_name(checkpoint.name + ".window"))
+            else:
+                path = "harness-window.trace"
+        try:
+            tracefile.write_trace(list(self.window), path)
+        except OSError:  # pragma: no cover - dump is best-effort
+            return None
+        return path
+
+
+def run_events(
+    system,
+    events: "Iterable",
+    warmup_events: int,
+    config: "Optional[HarnessConfig]" = None,
+    start_index: int = 0,
+    meta: "Optional[Dict[str, Any]]" = None,
+    stats_reset: bool = False,
+) -> HarnessRunner:
+    """Warm up, reset statistics, and measure under the harness.
+
+    ``start_index``/``stats_reset`` support resume: the deterministic
+    ``events`` stream is rebuilt by the caller, the already-consumed
+    prefix is skipped here, and the warm-up boundary reset is re-applied
+    only if the checkpoint predates it.  Returns the runner (its
+    ``system`` holds the final state).
+    """
+    iterator = iter(events)
+    if start_index:
+        # Fast-forward the regenerated stream past the consumed prefix.
+        next(itertools.islice(iterator, start_index - 1, start_index), None)
+    runner = HarnessRunner(system, config, meta)
+    runner.event_index = start_index
+    runner.stats_reset = stats_reset
+    if start_index < warmup_events or (
+        start_index == warmup_events and not stats_reset
+    ):
+        if start_index < warmup_events:
+            runner.run(itertools.islice(iterator, warmup_events - start_index))
+        system.reset_stats()
+        runner.stats_reset = True
+    runner.run(iterator)
+    return runner

@@ -93,6 +93,11 @@ class SnoopBus:
     latency: int
     occupancy: int = 0
     stats: BusStats = field(default_factory=BusStats)
+    #: One-shot fault armed by the harness's fault injector: ``"drop"``
+    #: skips snooping the next transaction (a lost invalidation),
+    #: ``"dup"`` snoops it twice (double-counted work), ``"delay"``
+    #: multiplies its latency.  Cleared after one transaction.
+    fault_next: "Optional[str]" = None
     _snoopers: "list[tuple[int, Snooper]]" = field(default_factory=list)
     _busy_until: int = 0
 
@@ -116,24 +121,42 @@ class SnoopBus:
         virtual time ``now``.
         """
         self.stats.record(txn.op.value)
+        fault, self.fault_next = self.fault_next, None
         wait = 0
         if self.occupancy:
             wait = max(0, self._busy_until - now)
             self._busy_until = max(now, self._busy_until) + self.occupancy
-        result = BusResult(latency=self.latency + wait)
-        for core, snooper in self._snoopers:
-            if core == txn.issuer:
-                continue
-            reply = snooper.snoop(txn)
-            result.shared = result.shared or reply.shared
-            result.dirty = result.dirty or reply.dirty
-            if reply.supplies_data or reply.pointer is not None:
-                if result.supplier is not None and reply.supplies_data:
-                    raise RuntimeError(
-                        f"two agents supplied data for {txn.address:#x}"
-                    )
-                if reply.supplies_data:
-                    result.supplier = core
-                if reply.pointer is not None:
-                    result.pointer = reply.pointer
+        latency = self.latency + wait
+        if fault == "delay":
+            latency += 10 * self.latency
+        result = BusResult(latency=latency)
+        if fault == "drop":
+            # Injected fault: the broadcast is lost before any snooper
+            # sees it — shared/dirty signals stay deasserted and no
+            # invalidation happens, which the invariant checker must
+            # flag as an exclusivity violation downstream.
+            return result
+        rounds = 2 if fault == "dup" else 1
+        for round_index in range(rounds):
+            for core, snooper in self._snoopers:
+                if core == txn.issuer:
+                    continue
+                reply = snooper.snoop(txn)
+                result.shared = result.shared or reply.shared
+                result.dirty = result.dirty or reply.dirty
+                if reply.supplies_data or reply.pointer is not None:
+                    if result.supplier is not None and reply.supplies_data:
+                        raise RuntimeError(
+                            f"two agents supplied data for {txn.address:#x}"
+                        )
+                    if reply.supplies_data:
+                        result.supplier = core
+                    if reply.pointer is not None:
+                        result.pointer = reply.pointer
+            if round_index == 0 and rounds == 2:
+                # The duplicated broadcast re-runs the snoopers (their
+                # state transitions apply twice) but takes the second
+                # round's replies, so a flushed supplier is not
+                # double-claimed as two data sources.
+                result.supplier = None
         return result

@@ -25,6 +25,9 @@ class Crossbar:
 
     dgroup_latencies: "tuple[tuple[int, ...], ...]"
     traffic: "Counter[tuple[int, int]]" = field(default_factory=Counter)
+    #: Extra cycles per access, armed by the harness's ``delay-xbar``
+    #: fault to model a degraded interconnect (0 in normal operation).
+    fault_extra_latency: int = 0
 
     @property
     def num_cores(self) -> int:
@@ -41,7 +44,7 @@ class Crossbar:
         if not 0 <= dgroup < self.num_dgroups:
             raise IndexError(f"d-group {dgroup} out of range")
         self.traffic[(core, dgroup)] += 1
-        return self.dgroup_latencies[core][dgroup]
+        return self.dgroup_latencies[core][dgroup] + self.fault_extra_latency
 
     def link_traffic(self, core: int, dgroup: int) -> int:
         return self.traffic[(core, dgroup)]

@@ -19,8 +19,12 @@ class TestParser:
     def test_run_defaults(self):
         args = build_parser().parse_args(["run"])
         args_dict = vars(args)
-        assert args_dict["design"] == "cmp-nurapid"
-        assert args_dict["workload"] is None  # resolved to oltp at use time
+        # Both resolve at use time: design to cmp-nurapid, workload to
+        # oltp.  (No argparse defaults so --resume can detect conflicts.)
+        assert args_dict["design"] is None
+        assert args_dict["workload"] is None
+        assert args_dict["check_invariants"] == 0
+        assert args_dict["inject_fault"] is None
 
     def test_mix_and_workload_mutually_exclusive(self):
         with pytest.raises(SystemExit):
@@ -133,3 +137,101 @@ class TestCommands:
         )
         assert code == 0
         assert "throughput" in out
+
+
+def run_cli_err(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestHarnessFlags:
+    """The robustness flags: validation, faults, checkpoint/resume."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["run", "--accesses", "-5"],
+            ["run", "--warmup", "-1"],
+            ["run", "--check-invariants", "-2"],
+            ["run", "--checkpoint-every", "0"],
+            ["run", "--timeout", "-1"],
+            ["run", "--inject-fault", "bogus@10"],
+            ["run", "--inject-fault", "flip-pointer"],
+            ["run", "--inject-fault", "flip-pointer@-3"],
+            ["run", "--inject-fault", "flip-pointer@ten"],
+            ["run", "--resume", "x.ck", "--workload", "oltp"],
+            ["run", "--resume", "x.ck", "--mix", "MIX1"],
+            ["run", "--resume", "x.ck", "--design", "private"],
+            ["run", "--resume", "/nonexistent/x.ck"],
+            ["trace", "generate", "--accesses", "-1", "--out", "t.txt"],
+            ["compare", "--accesses", "-1"],
+        ],
+    )
+    def test_malformed_arguments_exit_2_one_line(self, capsys, argv):
+        code, out, err = run_cli_err(capsys, *argv)
+        assert code == 2
+        assert len(err.strip().splitlines()) == 1
+        assert "Traceback" not in err
+
+    def test_paranoid_run_passes(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "run", "--design", "private", "--accesses", "800",
+            "--warmup", "200", "--check-invariants", "100",
+        )
+        assert code == 0
+        assert "invariants checked every 100 event(s)" in out
+
+    def test_injected_fault_exits_3_with_diagnostic(self, tmp_path, capsys):
+        checkpoint = tmp_path / "fault.ck"
+        code, out, err = run_cli_err(
+            capsys,
+            "run", "--design", "cmp-nurapid", "--accesses", "2000",
+            "--warmup", "0", "--check-invariants", "1",
+            "--inject-fault", "flip-pointer@500",
+            "--checkpoint", str(checkpoint),
+        )
+        assert code == 3
+        assert "invariant violation: [" in err
+        assert "replayable event window" in err
+        assert (tmp_path / "fault.ck.window").exists()
+
+    def test_watchdog_exits_4(self, tmp_path, capsys):
+        checkpoint = tmp_path / "hang.ck"
+        code, out, err = run_cli_err(
+            capsys,
+            "run", "--design", "private", "--accesses", "100000",
+            "--warmup", "0", "--timeout", "0.01",
+            "--checkpoint", str(checkpoint),
+        )
+        assert code == 4
+        assert "watchdog timeout" in err
+
+    def test_checkpoint_then_resume_matches(self, tmp_path, capsys):
+        checkpoint = tmp_path / "run.ck"
+        argv = [
+            "run", "--design", "uniform-shared", "--accesses", "1000",
+            "--warmup", "500", "--checkpoint", str(checkpoint),
+            "--checkpoint-every", "2000",
+        ]
+        code, full = run_cli(capsys, *argv)
+        assert code == 0
+        assert checkpoint.exists()
+        code, resumed = run_cli(capsys, "run", "--resume", str(checkpoint))
+        assert code == 0
+
+        def numbers(text):
+            return [
+                line for line in text.splitlines()
+                if "throughput" in line or "IPC" in line or "%" in line
+            ]
+
+        assert numbers(resumed) == numbers(full)
+
+    def test_resume_rejects_garbage_checkpoint(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.ck"
+        bogus.write_bytes(b"not a checkpoint")
+        code, out, err = run_cli_err(capsys, "run", "--resume", str(bogus))
+        assert code == 2
+        assert "error:" in err

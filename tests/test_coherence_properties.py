@@ -4,16 +4,35 @@ Random multi-core traffic against small private-MESI caches must
 always satisfy MESI's global invariants; the L1 must track a
 brute-force reference model; and every design must produce identical
 access classifications for identical traffic (determinism).
+
+The harness-backed tests at the bottom drive seeded stdlib-random
+streams through full systems — private/MESI and CMP-NuRAPID/MESIC —
+with the structured invariant checker after *every* access (paranoid
+mode), so any illegal intermediate state is pinned to the access that
+created it.
 """
 
+import random
+
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.caches.l1 import L1Cache
 from repro.caches.private import PrivateCaches
 from repro.coherence.states import CoherenceState
-from repro.common.params import KB, CacheGeometry, L1Params, PrivateCacheParams
+from repro.common.params import (
+    KB,
+    CacheGeometry,
+    L1Params,
+    NurapidParams,
+    PrivateCacheParams,
+    SystemParams,
+)
 from repro.common.types import Access, AccessType
+from repro.core.nurapid import NurapidCache
+from repro.cpu.system import CmpSystem, TimedAccess
+from repro.harness import check_system
 
 M = CoherenceState.MODIFIED
 E = CoherenceState.EXCLUSIVE
@@ -122,3 +141,75 @@ def test_l1_matches_reference_model(steps):
             if len(resident) == geometry.associativity:
                 resident.pop(0)
             resident.append(address)
+
+
+# ----------------------------------------------------------------------
+# Paranoid-mode streams: MESI vs MESIC under the structured checker.
+# Plain seeded stdlib randomness (not hypothesis): these runs are long
+# enough that shrinking would be useless, and the seeds make failures
+# exactly reproducible from the test id alone.
+
+def _small_system(design_factory) -> CmpSystem:
+    params = SystemParams(l1=L1Params(geometry=CacheGeometry(4 * KB, 2, 64)))
+    return CmpSystem(design_factory(), params)
+
+
+def _mesi_system() -> CmpSystem:
+    return _small_system(
+        lambda: PrivateCaches(
+            PrivateCacheParams(geometry=CacheGeometry(4 * KB, 2, 128))
+        )
+    )
+
+
+def _mesic_system() -> CmpSystem:
+    return _small_system(
+        lambda: NurapidCache(
+            NurapidParams(dgroup_capacity_bytes=4 * KB, tag_associativity=2)
+        )
+    )
+
+
+def _random_stream(seed: int, length: int = 600, blocks: int = 48):
+    """A seeded multi-core access stream with heavy block sharing."""
+    rng = random.Random(seed)
+    for _ in range(length):
+        core = rng.randrange(4)
+        block = rng.randrange(blocks)
+        access_type = AccessType.WRITE if rng.random() < 0.4 else AccessType.READ
+        yield TimedAccess(Access(core, 0x40000 + block * 128, access_type))
+
+
+def _drive_checked(system: CmpSystem, seed: int) -> None:
+    for index, event in enumerate(_random_stream(seed)):
+        system.step(event)
+        check_system(system, access_index=index)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+def test_mesi_legal_under_paranoid_checking(seed):
+    """Random traffic never drives MESI private caches illegal."""
+    _drive_checked(_mesi_system(), seed)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+def test_mesic_legal_under_paranoid_checking(seed):
+    """The same traffic never drives CMP-NuRAPID's MESIC illegal."""
+    _drive_checked(_mesic_system(), seed)
+
+
+@pytest.mark.parametrize("seed", [10, 11])
+def test_mesi_vs_mesic_same_stream_both_legal(seed):
+    """One identical stream through both protocols; both stay legal and
+    both hierarchies answer every access (identical totals)."""
+    mesi, mesic = _mesi_system(), _mesic_system()
+    for index, event in enumerate(_random_stream(seed)):
+        mesi.step(event)
+        mesic.step(event)
+        check_system(mesi, access_index=index)
+        check_system(mesic, access_index=index)
+    # Both systems retired the identical instruction stream; only the
+    # memory-system timing (and L2 classification) may differ.
+    assert [core.instructions for core in mesi.cores] == [
+        core.instructions for core in mesic.cores
+    ]

@@ -78,6 +78,28 @@ class TestRunner:
         )
         assert first is second
 
+    def test_stats_cache_persists_across_processes(self, tmp_path):
+        """A killed sweep resumes from the on-disk cache, not a re-run."""
+        path = str(tmp_path / "stats.cache")
+        first = StatsCache(path=path)
+        stats = first.get(
+            "barnes", "uniform-shared", DESIGN_FACTORIES["uniform-shared"], TINY
+        )
+        assert len(first) == 1
+
+        def exploding_factory():
+            raise AssertionError("resumed sweep must not re-simulate")
+
+        fresh = StatsCache(path=path)  # simulates a new process
+        assert len(fresh) == 1
+        reloaded = fresh.get("barnes", "uniform-shared", exploding_factory, TINY)
+        assert reloaded.accesses.counts == stats.accesses.counts
+
+    def test_stats_cache_ignores_corrupt_file(self, tmp_path):
+        path = tmp_path / "stats.cache"
+        path.write_bytes(b"\x00not a pickle")
+        assert len(StatsCache(path=str(path))) == 0
+
 
 class TestTable1:
     def test_report_rows(self):
