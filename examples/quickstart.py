@@ -16,22 +16,47 @@ expect the relative numbers to sharpen with longer traces.
 Set ``REPRO_CHECK_INVARIANTS=N`` to run the model invariant checker
 every N accesses (paranoid mode) — CI uses this as a smoke test that
 every design stays structurally legal under real traffic.
+
+Observability (applied to the cmp-nurapid run only, so the other
+designs stay untouched baselines):
+
+* ``REPRO_TRACE=out.jsonl`` — stream its structured events as JSONL;
+* ``REPRO_METRICS=m.json`` (and ``REPRO_METRICS_EVERY=N``, default
+  10000) — write interval metric samples (CSV if the path ends .csv);
+* ``REPRO_PROFILE=1`` — print wall-clock timings of the hot paths.
 """
 
 import itertools
 import os
 import sys
 
-from repro import CmpSystem, MissClass, make_workload
+from repro import CmpSystem, MetricsCollector, MissClass, Profiler, Tracer, make_workload
 from repro.experiments import DESIGN_FACTORIES, format_table
 
 CHECK_EVERY = int(os.environ.get("REPRO_CHECK_INVARIANTS", "0"))
+TRACE_PATH = os.environ.get("REPRO_TRACE")
+METRICS_PATH = os.environ.get("REPRO_METRICS")
+METRICS_EVERY = int(os.environ.get("REPRO_METRICS_EVERY", "10000"))
+PROFILE = bool(int(os.environ.get("REPRO_PROFILE", "0") or "0"))
+
+#: The design the observability env vars instrument.
+OBSERVED_DESIGN = "cmp-nurapid"
 
 
 def run_design(name, accesses_per_core):
     """Warm up and measure one design; return its stats."""
     design = DESIGN_FACTORIES[name]()
-    system = CmpSystem(design)
+    observed = name == OBSERVED_DESIGN
+    tracer = Tracer(sink=TRACE_PATH) if observed and TRACE_PATH else None
+    metrics = (
+        MetricsCollector(sample_every=METRICS_EVERY)
+        if observed and METRICS_PATH
+        else None
+    )
+    system = CmpSystem(design, tracer=tracer, metrics=metrics)
+    profiler = Profiler() if observed and PROFILE else None
+    if profiler is not None:
+        profiler.instrument(system)
     workload = make_workload("oltp")
     events = workload.events(accesses_per_core=2 * accesses_per_core)
     warmup_events = accesses_per_core * workload.num_cores
@@ -41,11 +66,24 @@ def run_design(name, accesses_per_core):
         run_events(
             system, events, warmup_events,
             HarnessConfig(check_every=CHECK_EVERY),
+            profiler=profiler,
         )
     else:
         system.run(itertools.islice(events, warmup_events))
         system.reset_stats()
         system.run(events)
+    if metrics is not None:
+        series = metrics.finish()
+        if METRICS_PATH.endswith(".csv"):
+            series.to_csv(METRICS_PATH)
+        else:
+            series.to_json(METRICS_PATH)
+        print(f"[{name}] metrics: {len(series)} sample(s) -> {METRICS_PATH}")
+    if tracer is not None:
+        tracer.close()
+        print(f"[{name}] trace: {tracer.emitted} event(s) -> {TRACE_PATH}")
+    if profiler is not None:
+        print(profiler.report())
     return system.stats()
 
 

@@ -37,6 +37,13 @@ from repro.common import (
 )
 from repro.core import NurapidCache
 from repro.cpu import CmpSystem, TimedAccess, run_workload
+from repro.obs import (
+    MetricsCollector,
+    Profiler,
+    TraceEvent,
+    Tracer,
+    export_chrome_trace,
+)
 from repro.harness import (
     FaultSpec,
     HarnessConfig,
@@ -75,11 +82,13 @@ __all__ = [
     "InvariantViolation",
     "MIXES",
     "MULTITHREADED",
+    "MetricsCollector",
     "MissClass",
     "MultiprogrammedWorkload",
     "NurapidCache",
     "NurapidParams",
     "PrivateCaches",
+    "Profiler",
     "SCIENTIFIC",
     "SharedCache",
     "SharingClass",
@@ -88,7 +97,10 @@ __all__ = [
     "SyntheticWorkload",
     "SystemParams",
     "TimedAccess",
+    "TraceEvent",
+    "Tracer",
     "check_system",
+    "export_chrome_trace",
     "load_checkpoint",
     "make_mix",
     "make_workload",

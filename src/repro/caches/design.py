@@ -7,6 +7,8 @@ from typing import Callable, Optional
 
 from repro.common.stats import AccessStats
 from repro.common.types import Access, AccessResult, block_address
+from repro.obs import events as ev
+from repro.obs.tracer import NO_TRACE
 
 #: Callback invalidating core ``core``'s L1 blocks covered by an evicted
 #: or invalidated L2 block: ``hook(core, l2_block_address)``.
@@ -31,6 +33,11 @@ class L2Design(abc.ABC):
         #: Issuing core's cycle count for the current access — a
         #: virtual clock for optional contention models.
         self.current_time = 0
+        #: Structured event tracer; :data:`~repro.obs.tracer.NO_TRACE`
+        #: (disabled) by default.  Every emission is guarded with
+        #: ``if self.tracer.enabled:`` so disabled tracing costs one
+        #: branch per potential event.
+        self.tracer = NO_TRACE
 
     def reset_stats(self) -> None:
         """Clear access statistics (e.g. after a warm-up phase).
@@ -61,6 +68,17 @@ class L2Design(abc.ABC):
         self.current_time = now
         result = self._access(access)
         self.stats.record(result.miss_class)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                ev.ACCESS,
+                cycle=now,
+                core=access.core,
+                address=block_address(access.address, self.block_size),
+                type=access.type.value,
+                miss_class=result.miss_class.value,
+                latency=result.latency,
+                distance=result.dgroup_distance,
+            )
         return result
 
     @abc.abstractmethod

@@ -8,10 +8,14 @@ Drives the library without writing Python::
     python -m repro.cli run --checkpoint run.ck --checkpoint-every 50000
     python -m repro.cli run --resume run.ck
     python -m repro.cli run --inject-fault flip-pointer@1000
+    python -m repro.cli run --trace out.jsonl --metrics m.json --metrics-every 10k
+    python -m repro.cli run --profile
     python -m repro.cli experiment fig10 --quick
     python -m repro.cli latency
     python -m repro.cli trace generate --workload apache --out trace.txt
     python -m repro.cli trace run trace.txt --design private
+    python -m repro.cli trace export out.jsonl --out out.perfetto.json
+    python -m repro.cli trace validate out.jsonl
 
 Also installed as the ``repro-sim`` console script.
 
@@ -49,6 +53,11 @@ from repro.harness import (
 )
 from repro.harness.faults import FAULT_KINDS, FaultSpecError, parse_fault_specs
 from repro.latency import cacti, tables
+from repro.obs.events import validate_jsonl
+from repro.obs.metrics import MetricsCollector
+from repro.obs.perfetto import export_jsonl
+from repro.obs.profiler import Profiler
+from repro.obs.tracer import DEFAULT_CAPACITY, Tracer
 from repro.workloads import tracefile
 from repro.workloads.multiprogrammed import MIXES, make_mix
 from repro.workloads.multithreaded import MULTITHREADED, make_workload
@@ -76,9 +85,64 @@ def _make_events(args) -> "tuple[Iterable[TimedAccess], int, int]":
     return events, args.warmup * workload.num_cores, workload.num_cores
 
 
-def _run_one(design_name: str, args):
+def _count(text: str) -> int:
+    """Parse an event count with an optional k/m suffix (``10k``, ``2m``)."""
+    raw = text.strip().lower().replace("_", "")
+    multiplier = 1
+    if raw.endswith("k"):
+        multiplier, raw = 1_000, raw[:-1]
+    elif raw.endswith("m"):
+        multiplier, raw = 1_000_000, raw[:-1]
+    try:
+        value = int(raw) * multiplier
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer with optional k/m suffix, got {text!r}"
+        ) from None
+    return value
+
+
+def _build_obs(args):
+    """Construct the run's (tracer, metrics, profiler) from its flags."""
+    tracer = (
+        Tracer(capacity=args.trace_buffer, sink=args.trace)
+        if args.trace
+        else None
+    )
+    metrics = (
+        MetricsCollector(sample_every=args.metrics_every)
+        if args.metrics
+        else None
+    )
+    profiler = Profiler() if args.profile else None
+    return tracer, metrics, profiler
+
+
+def _finish_obs(tracer, metrics, profiler, args) -> None:
+    """Export/close the observability outputs after a completed run."""
+    if metrics is not None:
+        series = metrics.finish()
+        if args.metrics.endswith(".csv"):
+            series.to_csv(args.metrics)
+        else:
+            series.to_json(args.metrics)
+        print(f"metrics: {len(series)} sample(s) -> {args.metrics}")
+    if tracer is not None:
+        tracer.close()
+        print(
+            f"trace: {tracer.emitted} event(s) -> {args.trace} "
+            f"(ring kept last {len(tracer.ring)})"
+        )
+    if profiler is not None:
+        print()
+        print(profiler.report())
+
+
+def _run_one(design_name: str, args, tracer=None, metrics=None, profiler=None):
     design = build_design(design_name)
-    system = CmpSystem(design)
+    system = CmpSystem(design, tracer=tracer, metrics=metrics)
+    if profiler is not None:
+        profiler.instrument(system)
     events, warmup_events, _ = _make_events(args)
     iterator = iter(events)
     if warmup_events:
@@ -148,7 +212,7 @@ def _events_from_meta(meta: dict):
     return events, meta["warmup"] * workload.num_cores
 
 
-def _run_harnessed(args):
+def _run_harnessed(args, tracer=None, metrics=None, profiler=None):
     """Run (or resume) under the harness; returns (design name, label, runner)."""
     faults = parse_fault_specs(args.inject_fault or ())
     if args.resume:
@@ -156,6 +220,10 @@ def _run_harnessed(args):
         meta = dict(checkpoint.meta)
         design_name = meta.get("design", "cmp-nurapid")
         system = checkpoint.system
+        if metrics is not None:
+            system.attach_metrics(metrics)
+        if profiler is not None:
+            profiler.instrument(system)
         events, warmup_events = _events_from_meta(meta)
         config = HarnessConfig(
             check_every=args.check_invariants,
@@ -173,11 +241,15 @@ def _run_harnessed(args):
             start_index=checkpoint.event_index,
             meta=meta,
             stats_reset=bool(meta.get("stats_reset")),
+            tracer=tracer,
+            profiler=profiler,
         )
         label = meta.get("mix") or meta.get("workload") or "oltp"
         return design_name, label, runner
     design_name = args.design or "cmp-nurapid"
-    system = CmpSystem(build_design(design_name))
+    system = CmpSystem(build_design(design_name), metrics=metrics)
+    if profiler is not None:
+        profiler.instrument(system)
     events, warmup_events, _ = _make_events(args)
     meta = {
         "design": design_name,
@@ -195,7 +267,10 @@ def _run_harnessed(args):
         faults=faults,
         seed=args.seed,
     )
-    runner = run_events(system, events, warmup_events, config, meta=meta)
+    runner = run_events(
+        system, events, warmup_events, config, meta=meta,
+        tracer=tracer, profiler=profiler,
+    )
     return design_name, _workload_name(args), runner
 
 
@@ -205,15 +280,16 @@ def _print_harness_summary(runner) -> None:
     if config.check_every:
         notes.append(f"invariants checked every {config.check_every} event(s)")
     if runner.injector is not None:
-        applied = sum(1 for record in runner.injector.log if record.applied)
+        applied = sum(1 for record in runner.injector.log if record.data["applied"])
         notes.append(
             f"faults applied: {applied}/{len(runner.injector.log)}"
         )
         for record in runner.injector.log:
-            status = "applied" if record.applied else "skipped"
+            data = record.data
+            status = "applied" if data["applied"] else "skipped"
             notes.append(
-                f"  {record.spec.kind}@{record.spec.at_index} "
-                f"[{status}] {record.description}"
+                f"  {data['fault']}@{data['at_index']} "
+                f"[{status}] {data['description']}"
             )
     if config.checkpoint_path:
         notes.append(
@@ -248,15 +324,28 @@ def _stats_row(name: str, stats, baseline_throughput: "Optional[float]"):
 def cmd_run(args) -> int:
     _validate_run_args(args)
     runner = None
-    if _harness_active(args):
-        design_name, label, runner = _run_harnessed(args)
-        # One final snapshot so a finished run's checkpoint is current.
-        runner.checkpoint()
-        stats = runner.system.stats()
-    else:
-        design_name = args.design or "cmp-nurapid"
-        _, stats = _run_one(design_name, args)
-        label = _workload_name(args)
+    tracer, metrics, profiler = _build_obs(args)
+    try:
+        if _harness_active(args):
+            design_name, label, runner = _run_harnessed(
+                args, tracer=tracer, metrics=metrics, profiler=profiler
+            )
+            # One final snapshot so a finished run's checkpoint is current.
+            runner.checkpoint()
+            stats = runner.system.stats()
+        else:
+            design_name = args.design or "cmp-nurapid"
+            _, stats = _run_one(
+                design_name, args, tracer=tracer, metrics=metrics,
+                profiler=profiler,
+            )
+            label = _workload_name(args)
+    except BaseException:
+        # A failed run still flushes the trace sink: the recorded
+        # prefix (and the harness's crash-window events) are the repro.
+        if tracer is not None:
+            tracer.close()
+        raise
     print(f"design: {design_name}")
     print(f"workload: {label}")
     print()
@@ -291,6 +380,7 @@ def cmd_run(args) -> int:
         print(render_stacked_bars([bar], baseline=0.0))
     if runner is not None:
         _print_harness_summary(runner)
+    _finish_obs(tracer, metrics, profiler, args)
     return 0
 
 
@@ -407,6 +497,67 @@ def cmd_trace_run(args) -> int:
     return 0
 
 
+def cmd_trace_export(args) -> int:
+    if args.format != "perfetto":
+        raise CliError(f"unknown export format {args.format!r}")
+    try:
+        payload = export_jsonl(args.trace, args.out)
+    except ValueError as error:
+        raise CliError(str(error)) from None
+    count = sum(1 for entry in payload["traceEvents"] if entry.get("ph") != "M")
+    print(f"wrote {count} trace event(s) to {args.out} (open in ui.perfetto.dev)")
+    return 0
+
+
+def cmd_trace_validate(args) -> int:
+    count, errors = validate_jsonl(args.trace)
+    if errors:
+        for problem in errors:
+            print(f"{args.trace}: {problem}", file=sys.stderr)
+        print(
+            f"{args.trace}: {len(errors)} problem(s) in {count} record(s)",
+            file=sys.stderr,
+        )
+        return 2
+    print(f"{args.trace}: {count} record(s), all valid")
+    return 0
+
+
+def _add_obs_options(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("observability")
+    group.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="stream every structured event to PATH as JSONL",
+    )
+    group.add_argument(
+        "--trace-buffer",
+        type=_count,
+        default=DEFAULT_CAPACITY,
+        metavar="N",
+        help=f"tracer ring-buffer capacity (default: {DEFAULT_CAPACITY})",
+    )
+    group.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="write interval metric samples to PATH "
+        "(CSV if it ends in .csv, JSON otherwise)",
+    )
+    group.add_argument(
+        "--metrics-every",
+        type=_count,
+        default=10_000,
+        metavar="N",
+        help="events between metric samples; k/m suffixes ok "
+        "(default: 10k)",
+    )
+    group.add_argument(
+        "--profile",
+        action="store_true",
+        help="time the simulator's hot paths and print a report",
+    )
+
+
 def _add_workload_options(parser: argparse.ArgumentParser) -> None:
     group = parser.add_mutually_exclusive_group()
     # No argparse default: subparser mutually-exclusive groups do not
@@ -449,6 +600,7 @@ def build_parser() -> argparse.ArgumentParser:
     # cmp-nurapid when neither is given.
     run_parser.add_argument("--design", choices=sorted(DESIGN_FACTORIES))
     _add_workload_options(run_parser)
+    _add_obs_options(run_parser)
     run_parser.add_argument("--chart", action="store_true")
     harness_group = run_parser.add_argument_group("robustness harness")
     harness_group.add_argument(
@@ -542,6 +694,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--design", choices=sorted(DESIGN_FACTORIES), default="cmp-nurapid"
     )
     run_trace.set_defaults(func=cmd_trace_run)
+    export = trace_sub.add_parser(
+        "export", help="convert a recorded JSONL trace for a viewer"
+    )
+    export.add_argument("trace", help="JSONL trace recorded with run --trace")
+    export.add_argument("--out", required=True)
+    export.add_argument(
+        "--format",
+        choices=("perfetto",),
+        default="perfetto",
+        help="output format (perfetto = Chrome trace-event JSON)",
+    )
+    export.set_defaults(func=cmd_trace_export)
+    validate = trace_sub.add_parser(
+        "validate", help="check a JSONL trace against the event schema"
+    )
+    validate.add_argument("trace")
+    validate.set_defaults(func=cmd_trace_validate)
 
     return parser
 

@@ -101,6 +101,10 @@ class ReuseStats:
     def rws_fractions(self) -> "dict[str, float]":
         return self._fractions(self.rws_invalidated)
 
+    def merge(self, other: "ReuseStats") -> None:
+        self.ros_replaced.update(other.ros_replaced)
+        self.rws_invalidated.update(other.rws_invalidated)
+
 
 @dataclass
 class DgroupStats:
@@ -137,6 +141,11 @@ class DgroupStats:
         hits = self.closest_hits + self.farther_hits
         return self.closest_hits / hits if hits else 0.0
 
+    def merge(self, other: "DgroupStats") -> None:
+        self.closest_hits += other.closest_hits
+        self.farther_hits += other.farther_hits
+        self.misses += other.misses
+
 
 @dataclass
 class BusStats:
@@ -150,6 +159,9 @@ class BusStats:
     @property
     def total(self) -> int:
         return sum(self.transactions.values())
+
+    def merge(self, other: "BusStats") -> None:
+        self.transactions.update(other.transactions)
 
 
 @dataclass
@@ -197,3 +209,22 @@ class SimulationStats:
         """
         cycles = self.max_cycles
         return self.total_instructions / cycles if cycles else 0.0
+
+    def merge(self, other: "SimulationStats") -> None:
+        """Accumulate another run's counters into this one, in place.
+
+        Counter-valued sections add; per-core timing sums position-wise
+        (a shorter list is padded, so merging systems with different
+        core counts is well-defined).  Ratio properties (``miss_rate``,
+        ``ipc``) are derived from the merged counters, which is the
+        correct pooled value — *not* the mean of the per-run ratios.
+        """
+        self.accesses.merge(other.accesses)
+        self.reuse.merge(other.reuse)
+        self.dgroups.merge(other.dgroups)
+        self.bus.merge(other.bus)
+        while len(self.per_core) < len(other.per_core):
+            self.per_core.append(CoreTiming())
+        for mine, theirs in zip(self.per_core, other.per_core):
+            mine.instructions += theirs.instructions
+            mine.cycles += theirs.cycles

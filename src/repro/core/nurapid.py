@@ -66,6 +66,7 @@ from repro.core.tag_array import NurapidTagEntry, TagArray
 from repro.interconnect.bus import BusOp
 from repro.interconnect.crossbar import Crossbar
 from repro.latency.tables import dgroup_preferences
+from repro.obs import events as ev
 
 M = CoherenceState.MODIFIED
 E = CoherenceState.EXCLUSIVE
@@ -144,8 +145,26 @@ class NurapidCache(L2Design):
         """The d-group a core places and promotes its blocks into."""
         return self.prefs[core][0]
 
-    def _record_bus(self, op: BusOp) -> None:
+    def _record_bus(
+        self, op: BusOp, core: "Optional[int]" = None,
+        address: "Optional[int]" = None,
+    ) -> None:
         self.bus_stats.record(op.value)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                ev.BUS, cycle=self.current_time, core=core, address=address,
+                op=op.value,
+            )
+
+    def _trace_transition(
+        self, core: int, address: int, old: CoherenceState,
+        new: CoherenceState, trigger: str,
+    ) -> None:
+        """Emit a MESIC transition record (call sites guard on enabled)."""
+        self.tracer.emit(
+            ev.TRANSITION, cycle=self.current_time, core=core, address=address,
+            **{"from": old.value, "to": new.value, "trigger": trigger},
+        )
 
     def _dgroup_latency(self, core: int, dgroup: int) -> int:
         return self.crossbar.access(core, dgroup)
@@ -166,8 +185,13 @@ class NurapidCache(L2Design):
             dirty = dirty or entry.state.is_dirty
         return shared, dirty
 
-    def _invalidate_tag(self, core: int, entry: NurapidTagEntry, address: int) -> None:
+    def _invalidate_tag(
+        self, core: int, entry: NurapidTagEntry, address: int,
+        trigger: str = "invalidate",
+    ) -> None:
         """Drop one tag copy and (inclusion) its L1 blocks."""
+        if self.tracer.enabled and entry.state is not I:
+            self._trace_transition(core, address, entry.state, I, trigger)
         entry.invalidate()
         self._invalidate_l1(core, address)
 
@@ -198,16 +222,25 @@ class NurapidCache(L2Design):
             )
         if frame.dirty:
             self.counters.writebacks += 1
-        if owner.state in (S, C):
+        shared = owner.state in (S, C)
+        if self.tracer.enabled:
+            rev = frame.rev
+            self.tracer.emit(
+                ev.EVICTION, cycle=self.current_time,
+                core=rev.core if rev is not None else None,
+                address=address, dgroup=ptr.dgroup,
+                shared=shared, dirty=frame.dirty,
+            )
+        if shared:
             self.counters.shared_evictions += 1
-            self._record_bus(BusOp.BUS_REPL)
+            self._record_bus(BusOp.BUS_REPL, address=address)
             for core, entry in list(self._sharers(address)):
                 if entry.fwd == ptr and not entry.busy:
-                    self._invalidate_tag(core, entry, address)
+                    self._invalidate_tag(core, entry, address, trigger="BusRepl")
         else:
             rev = frame.rev
             assert rev is not None
-            self._invalidate_tag(rev.core, owner, address)
+            self._invalidate_tag(rev.core, owner, address, trigger="eviction")
         self.data.free(ptr)
 
     def _move_block(self, src: FramePtr, dst: FramePtr) -> None:
@@ -261,6 +294,14 @@ class NurapidCache(L2Design):
         free_index = self._make_room(core, next_group, stop_group, protect_set)
         self._move_block(victim_ptr, FramePtr(next_group, free_index))
         self.counters.demotions += 1
+        if self.tracer.enabled:
+            frame = self.data.frame(FramePtr(next_group, free_index))
+            self.tracer.emit(
+                ev.DEMOTION, cycle=self.current_time,
+                core=frame.rev.core if frame.rev is not None else None,
+                address=frame.address, dgroup=next_group,
+                from_dgroup=dgroup,
+            )
         return group.allocate()
 
     # ------------------------------------------------------------------
@@ -286,6 +327,11 @@ class NurapidCache(L2Design):
             return
 
         self.counters.promotions += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                ev.PROMOTION, cycle=self.current_time, core=core,
+                address=address, dgroup=target, from_dgroup=src.dgroup,
+            )
         group = self.data[target]
         if group.has_free():
             dst = FramePtr(target, group.allocate())
@@ -304,6 +350,14 @@ class NurapidCache(L2Design):
         else:
             # Swap: promoted block takes the victim's frame; the victim
             # demotes into the promoted block's old frame.
+            if self.tracer.enabled:
+                victim_frame = self.data.frame(victim_ptr)
+                self.tracer.emit(
+                    ev.DEMOTION, cycle=self.current_time,
+                    core=victim_frame.rev.core if victim_frame.rev is not None else None,
+                    address=victim_frame.address, dgroup=src.dgroup,
+                    from_dgroup=target,
+                )
             self._swap_blocks(src, victim_ptr)
             self.counters.demotions += 1
 
@@ -351,6 +405,11 @@ class NurapidCache(L2Design):
                     self.counters.writebacks += 1
                 self.data.free(src)
         self.counters.replications += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                ev.REPLICATION, cycle=self.current_time, core=core,
+                address=address, dgroup=closest, from_dgroup=src.dgroup,
+            )
 
     def _migrate_c_block(
         self, core: int, entry: NurapidTagEntry, address: int
@@ -376,6 +435,11 @@ class NurapidCache(L2Design):
         for _, sharer in sharers:
             sharer.fwd = new_ptr
         self.counters.c_migrations += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                ev.C_MIGRATION, cycle=self.current_time, core=core,
+                address=address, dgroup=closest, from_dgroup=old_ptr.dgroup,
+            )
 
     def bandwidth_report(self) -> "dict[str, object]":
         """Traffic summary validating the paper's bandwidth claim.
@@ -448,10 +512,11 @@ class NurapidCache(L2Design):
         )
 
         if access.is_write:
+            old_state = entry.state
             action = mesic.processor_write(entry.state)
             if BusOp.BUS_UPG in action.bus_ops:
                 self.counters.upgrades += 1
-                self._record_bus(BusOp.BUS_UPG)
+                self._record_bus(BusOp.BUS_UPG, core, address)
                 latency += self.bus_latency
                 self._invalidate_other_sharers(address, core, entry)
                 # The upgraded copy is now private; claim frame ownership.
@@ -461,12 +526,19 @@ class NurapidCache(L2Design):
                 # C-state write: posted invalidate of other sharers' L1
                 # copies; their tag copies stay in C (Section 3.2).
                 self.counters.c_writes += 1
-                self._record_bus(BusOp.WR_THRU)
-                self._record_bus(BusOp.BUS_RDX)
+                self._record_bus(BusOp.WR_THRU, core, address)
+                self._record_bus(BusOp.BUS_RDX, core, address)
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        ev.C_WRITE, cycle=self.current_time, core=core,
+                        address=address, dgroup=served_from.dgroup,
+                    )
                 for other in range(self.num_cores):
                     if other != core:
                         self._invalidate_l1(other, address)
             entry.state = action.next_state
+            if self.tracer.enabled and old_state is not entry.state:
+                self._trace_transition(core, address, old_state, entry.state, "PrWr")
             self.data.frame(served_from).dirty = True
             if (
                 entry.state is M
@@ -560,6 +632,8 @@ class NurapidCache(L2Design):
     ) -> NurapidTagEntry:
         self.tags[core].install(victim, address, state, fwd)
         victim.fill_class = fill_class
+        if self.tracer.enabled:
+            self._trace_transition(core, address, I, state, "fill")
         return victim
 
     def _fill_data(
@@ -631,12 +705,16 @@ class NurapidCache(L2Design):
         base_latency: int,
     ) -> int:
         core = access.core
-        self._record_bus(BusOp.BUS_RD)
+        self._record_bus(BusOp.BUS_RD, core, address)
 
         if dirty_sig and not self.enable_isc:
             # MESI behaviour: the dirty holder flushes and drops to S;
             # the (now clean) copy is then shared via CR as usual.
-            _, holder = self._dirty_holder(address)
+            holder_core, holder = self._dirty_holder(address)
+            if self.tracer.enabled:
+                self._trace_transition(
+                    holder_core, address, holder.state, S, "BusRd-flush"
+                )
             holder.state = S
             assert holder.fwd is not None
             self.data.frame(holder.fwd).dirty = False
@@ -656,10 +734,19 @@ class NurapidCache(L2Design):
             old_group = old_ptr.dgroup
             stop = old_group if old_group != self.closest(core) else None
             new_ptr = self._fill_data(core, address, entry, stop, dirty=True)
-            for _, sharer in sharers:
+            for sharer_core, sharer in sharers:
+                if self.tracer.enabled and sharer.state is not C:
+                    self._trace_transition(
+                        sharer_core, address, sharer.state, C, "BusRd-relocate"
+                    )
                 sharer.state = C
                 sharer.fwd = new_ptr
             self.counters.relocations += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    ev.RELOCATION, cycle=self.current_time, core=core,
+                    address=address, dgroup=new_ptr.dgroup, from_dgroup=old_group,
+                )
             return base_latency + self._dgroup_latency(core, old_group)
 
         if action.data_action is DataAction.POINTER_ONLY:
@@ -667,23 +754,37 @@ class NurapidCache(L2Design):
             supplier_ptr = supplier.fwd
             assert supplier_ptr is not None
             if supplier.state is E:
+                if self.tracer.enabled:
+                    self._trace_transition(supplier_core, address, E, S, "BusRd")
                 supplier.state = S
             if self.enable_cr and self.params.replicate_on_use > 1:
                 # Pointer return: tag copy only, no data copy.
                 self._fill_tag(core, address, victim, S, supplier_ptr, MissClass.ROS)
                 self.counters.pointer_returns += 1
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        ev.POINTER_RETURN, cycle=self.current_time, core=core,
+                        address=address, dgroup=supplier_ptr.dgroup,
+                        supplier=supplier_core,
+                    )
             else:
                 # Uncontrolled replication: immediate data copy.
                 entry = self._fill_tag(core, address, victim, S, None, MissClass.ROS)
                 supplier.busy = True
                 try:
-                    self._fill_data(
+                    dst = self._fill_data(
                         core, address, entry, None, dirty=False,
                         protect=frozenset({supplier_ptr}),
                     )
                 finally:
                     supplier.busy = False
                 self.counters.replications += 1
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        ev.REPLICATION, cycle=self.current_time, core=core,
+                        address=address, dgroup=dst.dgroup,
+                        from_dgroup=supplier_ptr.dgroup,
+                    )
             return base_latency + self._dgroup_latency(core, supplier_ptr.dgroup)
 
         # FILL_CLOSEST: off-chip capacity miss.  Memory attaches to the
@@ -706,7 +807,7 @@ class NurapidCache(L2Design):
 
         if dirty_sig and not self.enable_isc:
             # MESI behaviour: BusRdX invalidates the dirty holder.
-            self._record_bus(BusOp.BUS_RDX)
+            self._record_bus(BusOp.BUS_RDX, core, address)
             holder_core, holder = self._dirty_holder(address)
             old_group = holder.fwd.dgroup if holder.fwd else self.closest(core)
             self._invalidate_other_sharers(address, core, None)
@@ -719,23 +820,32 @@ class NurapidCache(L2Design):
         if action.data_action is DataAction.WRITE_IN_PLACE:
             # ISC: join the communication group; the copy stays put,
             # close to the reader(s).
-            self._record_bus(BusOp.BUS_RD)
-            self._record_bus(BusOp.BUS_RDX)
+            self._record_bus(BusOp.BUS_RD, core, address)
+            self._record_bus(BusOp.BUS_RDX, core, address)
             sharers = list(self._sharers(address))
             _, holder = self._dirty_holder(address)
             ptr = holder.fwd
             assert ptr is not None
-            for _, sharer in sharers:
+            for sharer_core, sharer in sharers:
+                if self.tracer.enabled and sharer.state is not C:
+                    self._trace_transition(
+                        sharer_core, address, sharer.state, C, "BusRdX-join"
+                    )
                 sharer.state = C
             self._fill_tag(core, address, victim, C, ptr, MissClass.RWS)
             self.data.frame(ptr).dirty = True
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    ev.C_WRITE, cycle=self.current_time, core=core,
+                    address=address, dgroup=ptr.dgroup, join=True,
+                )
             for other in range(self.num_cores):
                 if other != core:
                     self._invalidate_l1(other, address)
             return base_latency + self._dgroup_latency(core, ptr.dgroup)
 
         # FILL_CLOSEST: MESI-style write miss.
-        self._record_bus(BusOp.BUS_RDX)
+        self._record_bus(BusOp.BUS_RDX, core, address)
         if shared_sig:
             supplier_core, supplier = self._any_supplier(address, core)
             assert supplier.fwd is not None

@@ -31,6 +31,9 @@ from repro.common.params import SystemParams
 from repro.common.stats import CoreTiming, SimulationStats
 from repro.common.types import Access, AccessResult, AccessType
 from repro.cpu.core import InOrderCore
+from repro.obs import events as ev
+from repro.obs.metrics import MetricsCollector
+from repro.obs.tracer import NO_TRACE, NullTracer, Tracer
 
 
 class TimedAccess:
@@ -64,7 +67,13 @@ class TimedAccess:
 class CmpSystem:
     """A CMP with per-core L1s above one L2 design."""
 
-    def __init__(self, design: L2Design, params: "Optional[SystemParams]" = None) -> None:
+    def __init__(
+        self,
+        design: L2Design,
+        params: "Optional[SystemParams]" = None,
+        tracer: "Tracer | NullTracer | None" = None,
+        metrics: "Optional[MetricsCollector]" = None,
+    ) -> None:
         self.params = params or SystemParams()
         self.design = design
         self.l1s = [L1Cache(self.params.l1) for _ in range(self.params.num_cores)]
@@ -73,6 +82,24 @@ class CmpSystem:
             for i in range(self.params.num_cores)
         ]
         design.set_l1_invalidate_hook(self._on_l2_invalidate)
+        self.tracer = NO_TRACE
+        self.attach_tracer(tracer if tracer is not None else NO_TRACE)
+        self.metrics: "Optional[MetricsCollector]" = None
+        if metrics is not None:
+            self.attach_metrics(metrics)
+
+    def attach_tracer(self, tracer: "Tracer | NullTracer") -> None:
+        """Route this system's (and its design's) events to ``tracer``."""
+        self.tracer = tracer
+        self.design.tracer = tracer
+        bus = getattr(self.design, "bus", None)
+        if bus is not None and hasattr(bus, "tracer"):
+            bus.tracer = tracer
+
+    def attach_metrics(self, metrics: MetricsCollector) -> "MetricsCollector":
+        """Bind an interval-sampling metrics collector to this system."""
+        self.metrics = metrics.bind(self)
+        return metrics
 
     def _on_l2_invalidate(self, core: int, l2_block_address: int) -> None:
         self.l1s[core].invalidate_l2_block(l2_block_address, self.design.block_size)
@@ -89,6 +116,8 @@ class CmpSystem:
             if l1.store(access.address):
                 return 0
             result = self.design.access(access, now=self.cores[core].cycles)
+            if self.metrics is not None:
+                self.metrics.observe_l2(result)
             l1.fill(access.address, writable=not result.write_through, dirty=True)
             for other in self._others(core):
                 self.l1s[other].invalidate(access.address)
@@ -100,6 +129,8 @@ class CmpSystem:
         if l1.load(access.address):
             return 0
         result = self.design.access(access, now=self.cores[core].cycles)
+        if self.metrics is not None:
+            self.metrics.observe_l2(result)
         l1.fill(access.address, writable=False)
         for other in self._others(core):
             self.l1s[other].revoke_writable(access.address)
@@ -119,28 +150,62 @@ class CmpSystem:
             core.reset_stats()
         for l1 in self.l1s:
             l1.stats = type(l1.stats)()
+        if self.metrics is not None:
+            self.metrics.reset()
+
+    def _trace_step(self, event: "TimedAccess") -> None:
+        """Emit the replayable ``step`` record for one workload event."""
+        access = event.access
+        self.tracer.emit(
+            ev.STEP,
+            cycle=self.cores[access.core].cycles,
+            core=access.core,
+            address=access.address,
+            type=access.type.value,
+            sharing=access.sharing.value,
+            gap=event.gap,
+            colocated=event.colocated,
+        )
 
     def step(self, event: TimedAccess) -> None:
-        """Execute one timed access (the harness's unit of work)."""
+        """Execute one timed access (the harness's unit of work).
+
+        The ``step`` record is emitted *before* execution so that when
+        an access blows up mid-protocol, the fatal event is already in
+        the tracer's ring buffer (the harness's replayable window).
+        """
+        if self.tracer.enabled:
+            self._trace_step(event)
         core = self.cores[event.access.core]
         if event.gap:
             core.execute_gap(event.gap)
         if event.colocated:
             core.execute_colocated(event.colocated)
         core.execute_memory(self.access(event.access))
+        if self.metrics is not None:
+            self.metrics.on_step()
 
     def run(self, events: "Iterable[TimedAccess]") -> None:
         """Execute a stream of timed accesses.
 
         Inlines :meth:`step` — this loop is the simulator's hot path.
+        With tracing disabled and no metrics bound, the additions are
+        one branch each per event.
         """
+        tracer = self.tracer
+        traced = tracer.enabled
+        metrics = self.metrics
         for event in events:
+            if traced:
+                self._trace_step(event)
             core = self.cores[event.access.core]
             if event.gap:
                 core.execute_gap(event.gap)
             if event.colocated:
                 core.execute_colocated(event.colocated)
             core.execute_memory(self.access(event.access))
+            if metrics is not None:
+                metrics.on_step()
 
     def stats(self) -> SimulationStats:
         """Collect the run's statistics from every component."""

@@ -95,6 +95,15 @@ def run(
         "replication); OLTP misses dominated by RWS; scientific workloads "
         "have few sharing misses."
     )
+    # Access-weighted pooled mix (SimulationStats.merge): the figure's
+    # equal-weight workload average, cross-checked against pooling every
+    # commercial run's raw counters.
+    for design in DESIGNS:
+        pooled = result.merged(design, commercial).accesses
+        report.notes.append(
+            f"{design} pooled commercial miss rate (access-weighted): "
+            f"{pct(pooled.miss_rate)} over {pooled.total} L2 accesses"
+        )
     return Fig5Result(report=report, distributions=distributions, stats=result.stats)
 
 

@@ -152,6 +152,23 @@ class SweepResult:
             for design in designs
         }
 
+    def merged(
+        self, design: str, workloads: "Optional[Sequence[str]]" = None
+    ) -> SimulationStats:
+        """Pool one design's raw counters across ``workloads``.
+
+        Uses :meth:`SimulationStats.merge`, so derived ratios (miss
+        rate, d-group distribution, reuse fractions) come out
+        access-weighted over the pooled runs — the right aggregate for
+        "across all workloads" report lines, unlike a mean of per-run
+        ratios which over-weights short runs.
+        """
+        names = list(workloads) if workloads is not None else list(self.stats)
+        pooled = SimulationStats()
+        for workload in names:
+            pooled.merge(self.stats[workload][design])
+        return pooled
+
 
 def sweep(
     workload_names: "Sequence[str]",
@@ -184,38 +201,88 @@ class StatsCache:
     passes one cache to every experiment so each (workload, design)
     pair is simulated exactly once.
 
-    With a ``path``, the cache also persists: every completed run is
-    written back to disk (atomically — tmp file + rename), and a fresh
-    process pointed at the same path skips every pair already simulated.
-    A sweep killed halfway therefore resumes where it stopped instead of
-    re-simulating from scratch.  A missing file starts empty; a
-    corrupt/unreadable one is ignored (the sweep re-simulates).
+    With a ``path``, the cache also persists as an **append-only
+    journal**: each completed run appends one pickled ``("run", key,
+    stats)`` record, so persisting run *N* costs O(1) instead of
+    rewriting the whole cache (the previous design re-pickled every
+    accumulated result after every run — O(N²) over a long sweep).  A
+    sweep killed halfway resumes where it stopped: loading tolerates a
+    truncated final record (the crash case) and keeps the last record
+    for a duplicated key.  Loading **compacts** when it has something to
+    fix — a truncated tail, duplicate keys, or a cache in the legacy
+    whole-dict format — by atomically rewriting the journal (tmp file +
+    rename).  A missing file starts empty; an unreadable one is ignored
+    (the sweep re-simulates).
     """
 
     def __init__(self, path: "Optional[str]" = None) -> None:
         self.path = path
         self._cache: "Dict[tuple, SimulationStats]" = {}
         if path is not None:
-            self._cache.update(self._load(path))
+            self._cache, dirty = self._load(path)
+            if dirty:
+                self._compact()
 
     @staticmethod
-    def _load(path: str) -> "Dict[tuple, SimulationStats]":
+    def _load(path: str) -> "tuple[Dict[tuple, SimulationStats], bool]":
+        """Read a journal (or legacy whole-dict pickle) from ``path``.
+
+        Returns ``(cache, dirty)`` where ``dirty`` means the on-disk
+        form should be compacted (legacy format, truncated tail, or
+        duplicate keys).
+        """
         import pickle
 
+        cache: "Dict[tuple, SimulationStats]" = {}
+        dirty = False
         try:
             with open(path, "rb") as handle:
-                payload = pickle.load(handle)
+                records = 0
+                while True:
+                    try:
+                        payload = pickle.load(handle)
+                    except EOFError:
+                        break
+                    except (pickle.UnpicklingError, AttributeError,
+                            ImportError, IndexError, ValueError):
+                        # Truncated mid-record (killed run) or stale
+                        # classes: keep what was read, drop the tail.
+                        dirty = True
+                        break
+                    records += 1
+                    if isinstance(payload, dict):
+                        # Legacy format: the whole cache as one dict.
+                        # Migrate it to the journal form on return.
+                        cache.update(payload)
+                        dirty = True
+                    elif (
+                        isinstance(payload, tuple)
+                        and len(payload) == 3
+                        and payload[0] == "run"
+                    ):
+                        _, key, stats = payload
+                        if key in cache:
+                            dirty = True  # duplicate: last record wins
+                        cache[key] = stats
+                    else:
+                        dirty = True  # unrecognized record: skip it
         except FileNotFoundError:
-            return {}
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, IndexError):
-            # A truncated or stale cache is not fatal: re-simulate.
-            return {}
-        if not isinstance(payload, dict):
-            return {}
-        return payload
+            return {}, False
+        except OSError:
+            return {}, False
+        return cache, dirty
 
-    def _persist(self) -> None:
+    def _append(self, key: tuple, stats: SimulationStats) -> None:
+        if self.path is None:
+            return
+        import pickle
+
+        with open(self.path, "ab") as handle:
+            pickle.dump(("run", key, stats), handle,
+                        protocol=pickle.HIGHEST_PROTOCOL)
+
+    def _compact(self) -> None:
+        """Atomically rewrite the journal with exactly one record per key."""
         if self.path is None:
             return
         import os
@@ -223,7 +290,9 @@ class StatsCache:
 
         tmp = f"{self.path}.tmp"
         with open(tmp, "wb") as handle:
-            pickle.dump(self._cache, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            for key, stats in self._cache.items():
+                pickle.dump(("run", key, stats), handle,
+                            protocol=pickle.HIGHEST_PROTOCOL)
         os.replace(tmp, self.path)
 
     def __len__(self) -> int:
@@ -242,5 +311,5 @@ class StatsCache:
             runner = run_mix if multiprogrammed else run_multithreaded
             _, stats = runner(factory(), workload, config)
             self._cache[key] = stats
-            self._persist()
+            self._append(key, stats)
         return self._cache[key]

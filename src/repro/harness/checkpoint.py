@@ -13,6 +13,12 @@ bit-identical :class:`~repro.common.stats.SimulationStats`.
 
 Files are written atomically (temp file + ``os.replace``) so a run
 killed mid-checkpoint never leaves a truncated snapshot behind.
+
+Observability state is *not* part of a snapshot: tracers may hold open
+file sinks and a :class:`~repro.obs.Profiler` shadows methods with
+closures, neither of which pickles.  :func:`save_checkpoint` detaches
+them for the duration of the dump and restores them afterwards; the
+resuming process re-attaches its own tracer/metrics/profiler.
 """
 
 from __future__ import annotations
@@ -21,7 +27,9 @@ import os
 import pickle
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.obs.tracer import NO_TRACE
 
 #: Bump when the payload layout changes; load refuses mismatches.
 FORMAT_VERSION = 1
@@ -42,13 +50,69 @@ class Checkpoint:
     meta: "Dict[str, Any]" = field(default_factory=dict)
 
 
+def _detach_observability(system) -> "List[Tuple[Any, ...]]":
+    """Strip per-process observability state; return an undo list.
+
+    Covers the attached tracer (may hold an open sink file), the bound
+    metrics collector (back-references the system and would bloat the
+    snapshot), and any profiler method shadows — instance attributes
+    whose value carries ``__wrapped__``, installed by
+    :meth:`~repro.obs.Profiler.instrument`.
+    """
+    undo: "List[Tuple[Any, ...]]" = []
+    tracer = getattr(system, "tracer", None)
+    if tracer is not None and tracer is not NO_TRACE:
+        undo.append(("tracer", tracer))
+        if hasattr(system, "attach_tracer"):
+            system.attach_tracer(NO_TRACE)
+        else:
+            system.tracer = NO_TRACE
+    metrics = getattr(system, "metrics", None)
+    if metrics is not None:
+        undo.append(("metrics", metrics))
+        system.metrics = None
+    design = getattr(system, "design", None)
+    holders = [obj for obj in (
+        system,
+        design,
+        getattr(design, "bus", None),
+        getattr(design, "crossbar", None),
+    ) if obj is not None and hasattr(obj, "__dict__")]
+    for obj in holders:
+        for name, value in list(vars(obj).items()):
+            if callable(value) and hasattr(value, "__wrapped__"):
+                undo.append(("shadow", obj, name, value))
+                delattr(obj, name)  # the class method shows through again
+    return undo
+
+
+def _restore_observability(system, undo: "List[Tuple[Any, ...]]") -> None:
+    for entry in reversed(undo):
+        if entry[0] == "tracer":
+            if hasattr(system, "attach_tracer"):
+                system.attach_tracer(entry[1])
+            else:
+                system.tracer = entry[1]
+        elif entry[0] == "metrics":
+            system.metrics = entry[1]
+        else:
+            _, obj, name, value = entry
+            setattr(obj, name, value)
+
+
 def save_checkpoint(
     system,
     event_index: int,
     path: "Union[str, Path]",
     meta: "Optional[Dict[str, Any]]" = None,
 ) -> None:
-    """Atomically write a full-state snapshot to ``path``."""
+    """Atomically write a full-state snapshot to ``path``.
+
+    Tracer, metrics, and profiler instrumentation are detached for the
+    duration of the dump (they are per-process, not model state) and
+    restored before returning, so a traced run keeps tracing across its
+    periodic checkpoints.
+    """
     payload = {
         "magic": _MAGIC,
         "version": FORMAT_VERSION,
@@ -58,8 +122,12 @@ def save_checkpoint(
     }
     path = Path(path)
     temp = path.with_name(path.name + ".tmp")
-    with open(temp, "wb") as handle:
-        pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    undo = _detach_observability(system)
+    try:
+        with open(temp, "wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    finally:
+        _restore_observability(system, undo)
     os.replace(temp, path)
 
 

@@ -48,6 +48,9 @@ from repro.common.rng import DEFAULT_SEED, stream
 from repro.core.nurapid import NurapidCache
 from repro.core.pointers import FramePtr, TagPtr
 from repro.harness.invariants import design_contains
+from repro.obs import events as ev
+from repro.obs.events import TraceEvent
+from repro.obs.tracer import NO_TRACE
 
 M = CoherenceState.MODIFIED
 S = CoherenceState.SHARED
@@ -102,21 +105,21 @@ class FaultSpec:
 
 
 @dataclass
-class FaultRecord:
-    """What one injection actually did (for diagnostics and tests)."""
-
-    spec: FaultSpec
-    applied: bool
-    description: str
-
-
-@dataclass
 class FaultInjector:
-    """Applies scheduled faults to a live :class:`CmpSystem`."""
+    """Applies scheduled faults to a live :class:`CmpSystem`.
+
+    ``log`` holds one :class:`~repro.obs.events.TraceEvent` of kind
+    ``"fault"`` per injection — the same record type the tracer
+    streams, so fault history appears in recorded traces and harness
+    diagnostics without a parallel ad-hoc format.  Each record's data
+    carries ``fault`` (the kind), ``at_index``, ``applied``, and a
+    human-readable ``description`` of what was corrupted.
+    """
 
     specs: "Sequence[FaultSpec]" = ()
     seed: int = DEFAULT_SEED
-    log: "List[FaultRecord]" = field(default_factory=list)
+    tracer: "object" = NO_TRACE
+    log: "List[TraceEvent]" = field(default_factory=list)
 
     def __post_init__(self) -> None:
         self._rng = stream("harness.faults", self.seed)
@@ -130,16 +133,28 @@ class FaultInjector:
         """Apply every fault scheduled at or before event ``index``."""
         while self._pending and self._pending[0].at_index <= index:
             spec = self._pending.pop(0)
-            self.log.append(self._apply(system, spec))
+            record = self._apply(system, spec)
+            self.log.append(record)
+            if self.tracer.enabled:
+                self.tracer.emit_event(record)
 
     # ------------------------------------------------------------------
 
-    def _apply(self, system, spec: FaultSpec) -> FaultRecord:
+    def _apply(self, system, spec: FaultSpec) -> TraceEvent:
         handler = getattr(self, "_fault_" + spec.kind.replace("-", "_"))
         description = handler(system)
         applied = description is not None
-        return FaultRecord(
-            spec, applied, description or "no eligible target; fault skipped"
+        return TraceEvent(
+            ev.FAULT,
+            cycle=max(
+                (core.cycles for core in getattr(system, "cores", ())), default=0
+            ),
+            data={
+                "fault": spec.kind,
+                "at_index": spec.at_index,
+                "applied": applied,
+                "description": description or "no eligible target; fault skipped",
+            },
         )
 
     def _choose(self, candidates: list):

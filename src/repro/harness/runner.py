@@ -16,17 +16,23 @@ robustness machinery long simulations need:
   bit-identical resume of a killed run;
 * **watchdog** — a wall-clock budget; a hung or runaway run raises
   :class:`WatchdogTimeout` instead of blocking a sweep forever;
-* **event-window dump** — on an unrecoverable error the last W events
-  are written as a replayable trace file (the minimal repro input) and
-  its path attached to the raised exception.
+* **event-window dump** — on an unrecoverable error the most recent
+  events are recovered from the tracer's ring buffer and written as a
+  replayable trace file (the minimal repro input), its path attached to
+  the raised exception.
+
+The runner shares the observability stack in :mod:`repro.obs`: the
+system's structured tracer doubles as the crash window (``step``
+records in its ring buffer are replayable), fault injections and
+invariant violations are emitted as typed trace events, and an optional
+:class:`~repro.obs.profiler.Profiler` times the invariant checker.
 """
 
 from __future__ import annotations
 
 import itertools
 import time
-from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterable, Optional, Tuple
 
@@ -34,6 +40,10 @@ from repro.common.rng import DEFAULT_SEED
 from repro.harness.checkpoint import save_checkpoint
 from repro.harness.faults import FaultInjector, FaultSpec
 from repro.harness.invariants import InvariantViolation, check_system
+from repro.obs import events as ev
+from repro.obs.events import timed_access_from_event
+from repro.obs.profiler import Profiler
+from repro.obs.tracer import Tracer
 
 
 class WatchdogTimeout(RuntimeError):
@@ -75,18 +85,33 @@ class HarnessRunner:
         system,
         config: "Optional[HarnessConfig]" = None,
         meta: "Optional[Dict[str, Any]]" = None,
+        tracer: "Optional[Tracer]" = None,
+        profiler: "Optional[Profiler]" = None,
     ) -> None:
         self.system = system
         self.config = config or HarnessConfig()
         self.meta = dict(meta or {})
         self.event_index = 0
         self.stats_reset = False
+        self.profiler = profiler
+        # The system's structured tracer doubles as the crash window:
+        # its ring buffer holds the most recent ``step`` records, which
+        # are exactly the replayable events ``dump_window`` writes out.
+        # If the caller did not enable tracing, attach a ring-only
+        # tracer (no sink) sized to the configured window.
+        if tracer is not None:
+            system.attach_tracer(tracer)
+        elif not system.tracer.enabled:
+            system.attach_tracer(
+                Tracer(capacity=max(1, self.config.window_size))
+            )
+        self.tracer: Tracer = system.tracer
         self.injector = (
-            FaultInjector(self.config.faults, self.config.seed)
+            FaultInjector(self.config.faults, self.config.seed,
+                          tracer=self.tracer)
             if self.config.faults
             else None
         )
-        self.window: "deque" = deque(maxlen=max(1, self.config.window_size))
         self._deadline: "Optional[float]" = None
         self._cycle_watermarks = [core.cycles for core in system.cores]
 
@@ -108,17 +133,21 @@ class HarnessRunner:
             config.checkpoint_every if config.checkpoint_path else 0
         )
         index = self.event_index
+        profiler = self.profiler
         try:
             for event in events:
                 if self.injector is not None:
                     self.injector.maybe_inject(system, index)
-                self.window.append(event)
                 system.step(event)
                 index += 1
                 self.event_index = index
                 self._check_monotonic(index)
                 if check_every and index % check_every == 0:
-                    check_system(system, access_index=index)
+                    if profiler is not None:
+                        with profiler.section("invariant-check"):
+                            check_system(system, access_index=index)
+                    else:
+                        check_system(system, access_index=index)
                 if checkpoint_every and index % checkpoint_every == 0:
                     self.checkpoint()
                 if self._deadline is not None and time.monotonic() > self._deadline:
@@ -131,6 +160,16 @@ class HarnessRunner:
             error.dump_path = self.dump_window()
             if isinstance(error, InvariantViolation) and error.access_index is None:
                 error.access_index = index
+            if isinstance(error, InvariantViolation):
+                self.tracer.emit(
+                    ev.VIOLATION,
+                    cycle=max(core.cycles for core in system.cores),
+                    address=error.address,
+                    invariant=error.invariant,
+                    access_index=error.access_index,
+                    detail=str(error),
+                    dump_path=error.dump_path,
+                )
             raise
 
     def _check_monotonic(self, index: int) -> None:
@@ -158,9 +197,22 @@ class HarnessRunner:
             self.system, self.event_index, self.config.checkpoint_path, meta
         )
 
+    def window_events(self) -> list:
+        """The most recent workload events, rebuilt from the tracer.
+
+        Filters ``step`` records out of the tracer's ring buffer (other
+        event kinds share it) and reconstructs the replayable
+        :class:`~repro.cpu.system.TimedAccess` objects, newest last,
+        capped at the configured window size.
+        """
+        steps = [e for e in self.tracer.ring if e.kind == ev.STEP]
+        steps = steps[-max(1, self.config.window_size):]
+        return [timed_access_from_event(e) for e in steps]
+
     def dump_window(self) -> "Optional[str]":
         """Write the recent-event window as a replayable trace file."""
-        if not self.window:
+        window = self.window_events()
+        if not window:
             return None
         from repro.workloads import tracefile
 
@@ -172,7 +224,7 @@ class HarnessRunner:
             else:
                 path = "harness-window.trace"
         try:
-            tracefile.write_trace(list(self.window), path)
+            tracefile.write_trace(window, path)
         except OSError:  # pragma: no cover - dump is best-effort
             return None
         return path
@@ -186,6 +238,8 @@ def run_events(
     start_index: int = 0,
     meta: "Optional[Dict[str, Any]]" = None,
     stats_reset: bool = False,
+    tracer: "Optional[Tracer]" = None,
+    profiler: "Optional[Profiler]" = None,
 ) -> HarnessRunner:
     """Warm up, reset statistics, and measure under the harness.
 
@@ -199,7 +253,7 @@ def run_events(
     if start_index:
         # Fast-forward the regenerated stream past the consumed prefix.
         next(itertools.islice(iterator, start_index - 1, start_index), None)
-    runner = HarnessRunner(system, config, meta)
+    runner = HarnessRunner(system, config, meta, tracer=tracer, profiler=profiler)
     runner.event_index = start_index
     runner.stats_reset = stats_reset
     if start_index < warmup_events or (

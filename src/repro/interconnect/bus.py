@@ -19,6 +19,8 @@ from dataclasses import dataclass, field
 from typing import Optional, Protocol
 
 from repro.common.stats import BusStats
+from repro.obs import events as ev
+from repro.obs.tracer import NO_TRACE
 
 
 class BusOp(enum.Enum):
@@ -98,6 +100,9 @@ class SnoopBus:
     #: ``"dup"`` snoops it twice (double-counted work), ``"delay"``
     #: multiplies its latency.  Cleared after one transaction.
     fault_next: "Optional[str]" = None
+    #: Structured event tracer (disabled by default); the system routes
+    #: its tracer here so bus broadcasts appear in recorded traces.
+    tracer: "object" = NO_TRACE
     _snoopers: "list[tuple[int, Snooper]]" = field(default_factory=list)
     _busy_until: int = 0
 
@@ -121,6 +126,11 @@ class SnoopBus:
         virtual time ``now``.
         """
         self.stats.record(txn.op.value)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                ev.BUS, cycle=now, core=txn.issuer, address=txn.address,
+                op=txn.op.value,
+            )
         fault, self.fault_next = self.fault_next, None
         wait = 0
         if self.occupancy:

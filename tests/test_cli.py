@@ -235,3 +235,107 @@ class TestHarnessFlags:
         code, out, err = run_cli_err(capsys, "run", "--resume", str(bogus))
         assert code == 2
         assert "error:" in err
+
+
+class TestObservabilityFlags:
+    RUN = ("run", "--design", "cmp-nurapid", "--accesses", "800",
+           "--warmup", "800")
+
+    def test_trace_flag_writes_valid_jsonl(self, tmp_path, capsys):
+        from repro.obs.events import validate_jsonl
+
+        trace = tmp_path / "run.jsonl"
+        code, out = run_cli(capsys, *self.RUN, "--trace", str(trace))
+        assert code == 0
+        assert "trace:" in out
+        count, errors = validate_jsonl(str(trace))
+        assert errors == []
+        assert count > 0
+
+    def test_metrics_flag_json_and_csv(self, tmp_path, capsys):
+        import json as json_module
+
+        metrics = tmp_path / "m.json"
+        code, out = run_cli(
+            capsys, *self.RUN, "--metrics", str(metrics),
+            "--metrics-every", "1k",
+        )
+        assert code == 0
+        payload = json_module.loads(metrics.read_text())
+        assert payload["sample_every"] == 1000
+        assert payload["samples"]
+
+        csv_path = tmp_path / "m.csv"
+        code, _ = run_cli(
+            capsys, *self.RUN, "--metrics", str(csv_path),
+            "--metrics-every", "1k",
+        )
+        assert code == 0
+        lines = csv_path.read_text().splitlines()
+        assert len(lines) >= 2  # header + samples
+
+    def test_profile_flag_prints_report(self, capsys):
+        code, out = run_cli(capsys, *self.RUN, "--profile")
+        assert code == 0
+        assert "l2-lookup" in out
+        assert "wall clock" in out
+
+    def test_count_suffix_parsing(self):
+        args = build_parser().parse_args(
+            ["run", "--metrics-every", "10k", "--trace-buffer", "2m"]
+        )
+        assert args.metrics_every == 10_000
+        assert args.trace_buffer == 2_000_000
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--metrics-every", "ten"])
+
+    def test_trace_flags_compose_with_harness(self, tmp_path, capsys):
+        from repro.obs.events import read_jsonl
+
+        trace = tmp_path / "harness.jsonl"
+        code, out = run_cli(
+            capsys, *self.RUN, "--trace", str(trace),
+            "--inject-fault", "delay-xbar@100",
+        )
+        assert code == 0
+        kinds = {event.kind for event in read_jsonl(str(trace))}
+        assert "fault" in kinds  # injections stream through the tracer
+
+    def test_trace_export_and_validate(self, tmp_path, capsys):
+        import json as json_module
+
+        from repro.obs.perfetto import validate_chrome_trace
+
+        trace = tmp_path / "run.jsonl"
+        code, _ = run_cli(capsys, *self.RUN, "--trace", str(trace))
+        assert code == 0
+
+        code, out = run_cli(capsys, "trace", "validate", str(trace))
+        assert code == 0
+        assert "all valid" in out
+
+        exported = tmp_path / "run.perfetto.json"
+        code, out = run_cli(
+            capsys, "trace", "export", str(trace), "--out", str(exported)
+        )
+        assert code == 0
+        assert "perfetto" in out
+        payload = json_module.loads(exported.read_text())
+        assert validate_chrome_trace(payload) == []
+
+    def test_trace_validate_rejects_bad_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"kind": "nope"}\nnot json\n')
+        code, out, err = run_cli_err(capsys, "trace", "validate", str(bad))
+        assert code == 2
+        assert "problem" in err
+
+    def test_trace_export_rejects_bad_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"kind": "nope"}\n')
+        code, out, err = run_cli_err(
+            capsys, "trace", "export", str(bad), "--out",
+            str(tmp_path / "out.json"),
+        )
+        assert code == 2
+        assert "error:" in err

@@ -144,7 +144,7 @@ def test_corrupt_state_detected():
     system.step(TimedAccess(Access(0, 0x40000, READ)))
     system.step(TimedAccess(Access(1, 0x40000, READ)))
     injector = inject_now(system, "corrupt-state")
-    assert injector.log[0].applied, injector.log[0].description
+    assert injector.log[0].data["applied"], injector.log[0].data["description"]
     with pytest.raises(InvariantViolation) as caught:
         check_system(system)
     assert caught.value.invariant in {"exclusivity", "single-dirty-copy"}
@@ -155,7 +155,7 @@ def test_drop_bus_detected():
     system = fresh_system("private")
     system.step(TimedAccess(Access(0, 0x40000, READ)))  # core 0 takes E
     injector = inject_now(system, "drop-bus")
-    assert injector.log[0].applied
+    assert injector.log[0].data["applied"]
     # Core 1's BusRdX is never snooped: core 0 keeps its copy.
     system.step(TimedAccess(Access(1, 0x40000, WRITE)))
     with pytest.raises(InvariantViolation) as caught:
@@ -176,7 +176,7 @@ def test_delay_bus_perturbs_latency_only():
 
     faulted = fresh_system("private")
     injector = inject_now(faulted, "delay-bus")
-    assert injector.log[0].applied
+    assert injector.log[0].data["applied"]
     slow_latency = faulted.design.access(read, now=0).latency
     assert slow_latency >= base_latency + 10 * faulted.design.bus.latency
     assert faulted.design.bus.fault_next is None  # one-shot
@@ -189,7 +189,7 @@ def test_dup_bus_keeps_model_legal():
     system.step(TimedAccess(Access(0, 0x40000, READ)))
     system.step(TimedAccess(Access(1, 0x40000, READ)))
     injector = inject_now(system, "dup-bus")
-    assert injector.log[0].applied
+    assert injector.log[0].data["applied"]
     system.step(TimedAccess(Access(2, 0x40000, READ)))
     check_system(system)
 
@@ -202,7 +202,7 @@ def test_delay_xbar_perturbs_latency_only():
     cache.access(probe, now=0)  # install the block
     base_latency = cache.access(probe, now=10).latency
     injector = inject_now(system, "delay-xbar")
-    assert injector.log[0].applied
+    assert injector.log[0].data["applied"]
     slow_latency = cache.access(probe, now=20).latency
     assert slow_latency == base_latency + 100
     check_system(system)
