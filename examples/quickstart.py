@@ -15,7 +15,9 @@ expect the relative numbers to sharpen with longer traces.
 
 Set ``REPRO_CHECK_INVARIANTS=N`` to run the model invariant checker
 every N accesses (paranoid mode) — CI uses this as a smoke test that
-every design stays structurally legal under real traffic.
+every design stays structurally legal under real traffic.  Set
+``REPRO_BUS_MODEL=eventq`` to rebase every design's interconnect on
+the discrete-event scheduler (bit-identical results by construction).
 
 Observability (applied to the cmp-nurapid run only, so the other
 designs stay untouched baselines):
@@ -31,7 +33,8 @@ import os
 import sys
 
 from repro import CmpSystem, MetricsCollector, MissClass, Profiler, Tracer, make_workload
-from repro.experiments import DESIGN_FACTORIES, format_table
+from repro.experiments import format_table
+from repro.experiments.runner import build_design
 
 CHECK_EVERY = int(os.environ.get("REPRO_CHECK_INVARIANTS", "0"))
 TRACE_PATH = os.environ.get("REPRO_TRACE")
@@ -45,7 +48,7 @@ OBSERVED_DESIGN = "cmp-nurapid"
 
 def run_design(name, accesses_per_core):
     """Warm up and measure one design; return its stats."""
-    design = DESIGN_FACTORIES[name]()
+    design = build_design(name)  # honors REPRO_BUS_MODEL
     observed = name == OBSERVED_DESIGN
     tracer = Tracer(sink=TRACE_PATH) if observed and TRACE_PATH else None
     metrics = (

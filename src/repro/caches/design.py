@@ -26,6 +26,13 @@ class L2Design(abc.ABC):
     #: Human-readable design name used in reports.
     name: str = "l2"
 
+    #: Interconnect event queue (set by ``attach_eventq``; class-level
+    #: default keeps old checkpoints loadable).
+    queue = None
+    #: :class:`~repro.common.dirty.DirtySet` for incremental invariant
+    #: checking, attached by the harness; None disables marking.
+    dirty_set = None
+
     def __init__(self, block_size: int) -> None:
         self.block_size = block_size
         self.stats = AccessStats()
@@ -54,6 +61,15 @@ class L2Design(abc.ABC):
         if self._l1_invalidate is not None:
             self._l1_invalidate(core, block_address(address, self.block_size))
 
+    def _touch(self, address: "Optional[int]" = None, frame: "Optional[object]" = None) -> None:
+        """Mark mutated state for incremental invariant checking."""
+        dirty = self.dirty_set
+        if dirty is not None:
+            if address is not None:
+                dirty.mark_address(block_address(address, self.block_size))
+            if frame is not None:
+                dirty.mark_frame(frame)
+
     def _invalidate_all_l1(self, address: int, num_cores: int, except_core: int = -1) -> None:
         for core in range(num_cores):
             if core != except_core:
@@ -66,6 +82,8 @@ class L2Design(abc.ABC):
         contention models use it as a virtual clock.
         """
         self.current_time = now
+        if self.dirty_set is not None:
+            self.dirty_set.mark_address(block_address(access.address, self.block_size))
         result = self._access(access)
         self.stats.record(result.miss_class)
         if self.tracer.enabled:

@@ -53,10 +53,16 @@ class _PrivateController:
         self.core = core
         self.array = SetAssociativeArray(owner.params.geometry)
 
+    def probe(self, address: int) -> "CoherenceState | None":
+        """Coherence state held here, without touching LRU (bus races)."""
+        entry = self.array.lookup(address, touch=False)
+        return entry.state if entry is not None else None
+
     def snoop(self, txn: BusTransaction) -> SnoopReply:
         entry = self.array.lookup(txn.address, touch=False)
         if entry is None:
             return SnoopReply()
+        self.owner._touch(address=txn.address)
         reply = SnoopReply(
             shared=entry.state in (CoherenceState.EXCLUSIVE, CoherenceState.SHARED),
             dirty=entry.state is CoherenceState.MODIFIED,
@@ -175,6 +181,7 @@ class PrivateCaches(L2Design):
             if victim.fill_class is MissClass.ROS:
                 self.reuse.record_ros_replacement(victim.reuse)
             self._invalidate_l1(access.core, evicted)
+            self._touch(address=evicted)
         if access.is_write:
             state = CoherenceState.MODIFIED
         elif shared_copy_exists:

@@ -8,6 +8,8 @@ Drives the library without writing Python::
     python -m repro.cli run --checkpoint run.ck --checkpoint-every 50000
     python -m repro.cli run --resume run.ck
     python -m repro.cli run --inject-fault flip-pointer@1000
+    python -m repro.cli run --design private --bus-model eventq
+    python -m repro.cli run --bus-model eventq --inject-fault race-reorder@500
     python -m repro.cli run --trace out.jsonl --metrics m.json --metrics-every 10k
     python -m repro.cli run --profile
     python -m repro.cli experiment fig10 --quick
@@ -38,10 +40,12 @@ from repro.experiments import ablations, energy_report, sensitivity, smp_contras
 from repro.experiments.charts import BarGroup, StackedBar, render_grouped_bars, render_stacked_bars
 from repro.experiments.report import format_table, pct
 from repro.experiments.runner import (
+    BUS_MODELS,
     DESIGN_FACTORIES,
     ExperimentConfig,
     StatsCache,
     build_design,
+    resolve_bus_model,
 )
 from repro.harness import (
     CheckpointError,
@@ -51,7 +55,12 @@ from repro.harness import (
     load_checkpoint,
     run_events,
 )
-from repro.harness.faults import FAULT_KINDS, FaultSpecError, parse_fault_specs
+from repro.harness.faults import (
+    FAULT_KINDS,
+    RACE_FAULT_KINDS,
+    FaultSpecError,
+    parse_fault_specs,
+)
 from repro.latency import cacti, tables
 from repro.obs.events import validate_jsonl
 from repro.obs.metrics import MetricsCollector
@@ -83,6 +92,26 @@ def _make_events(args) -> "tuple[Iterable[TimedAccess], int, int]":
         workload = make_workload(args.workload or "oltp", seed=args.seed)
     events = workload.events(accesses_per_core=total)
     return events, args.warmup * workload.num_cores, workload.num_cores
+
+
+def _check_interval(text: str):
+    """--check-invariants value: an event interval, or the word 'full'."""
+    if text.strip().lower() == "full":
+        return "full"
+    try:
+        return int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'full', got {text!r}"
+        ) from None
+
+
+def _check_invariants_config(args) -> "tuple[int, bool]":
+    """Resolve --check-invariants into (check_every, check_full)."""
+    value = args.check_invariants
+    if value == "full":
+        return 1, True
+    return value, False
 
 
 def _count(text: str) -> int:
@@ -139,7 +168,7 @@ def _finish_obs(tracer, metrics, profiler, args) -> None:
 
 
 def _run_one(design_name: str, args, tracer=None, metrics=None, profiler=None):
-    design = build_design(design_name)
+    design = build_design(design_name, bus_model=getattr(args, "bus_model", None))
     system = CmpSystem(design, tracer=tracer, metrics=metrics)
     if profiler is not None:
         profiler.instrument(system)
@@ -162,9 +191,10 @@ def _validate_workload_args(args) -> None:
 
 def _validate_run_args(args) -> None:
     _validate_workload_args(args)
-    if args.check_invariants < 0:
+    if args.check_invariants != "full" and args.check_invariants < 0:
         raise CliError(
-            f"--check-invariants must be >= 0, got {args.check_invariants}"
+            f"--check-invariants must be >= 0 or 'full', "
+            f"got {args.check_invariants}"
         )
     if args.checkpoint_every <= 0:
         raise CliError(
@@ -181,6 +211,22 @@ def _validate_run_args(args) -> None:
         raise CliError(
             "--resume restores the checkpoint's design; drop --design"
         )
+    if args.resume and args.bus_model:
+        raise CliError(
+            "--resume restores the checkpoint's interconnect backend; "
+            "drop --bus-model"
+        )
+    race_kinds = [
+        spec.split("@", 1)[0]
+        for spec in (args.inject_fault or ())
+        if spec.split("@", 1)[0] in RACE_FAULT_KINDS
+    ]
+    if race_kinds and not args.resume:
+        if resolve_bus_model(args.bus_model) != "eventq":
+            raise CliError(
+                f"race faults ({', '.join(sorted(set(race_kinds)))}) perturb "
+                "the event schedule and need '--bus-model eventq'"
+            )
 
 
 def _harness_active(args) -> bool:
@@ -215,6 +261,7 @@ def _events_from_meta(meta: dict):
 def _run_harnessed(args, tracer=None, metrics=None, profiler=None):
     """Run (or resume) under the harness; returns (design name, label, runner)."""
     faults = parse_fault_specs(args.inject_fault or ())
+    check_every, check_full = _check_invariants_config(args)
     if args.resume:
         checkpoint = load_checkpoint(args.resume)
         meta = dict(checkpoint.meta)
@@ -226,7 +273,8 @@ def _run_harnessed(args, tracer=None, metrics=None, profiler=None):
             profiler.instrument(system)
         events, warmup_events = _events_from_meta(meta)
         config = HarnessConfig(
-            check_every=args.check_invariants,
+            check_every=check_every,
+            check_full=check_full,
             checkpoint_path=args.checkpoint or args.resume,
             checkpoint_every=args.checkpoint_every,
             timeout_seconds=args.timeout,
@@ -247,7 +295,8 @@ def _run_harnessed(args, tracer=None, metrics=None, profiler=None):
         label = meta.get("mix") or meta.get("workload") or "oltp"
         return design_name, label, runner
     design_name = args.design or "cmp-nurapid"
-    system = CmpSystem(build_design(design_name), metrics=metrics)
+    design = build_design(design_name, bus_model=args.bus_model)
+    system = CmpSystem(design, metrics=metrics)
     if profiler is not None:
         profiler.instrument(system)
     events, warmup_events, _ = _make_events(args)
@@ -258,9 +307,11 @@ def _run_harnessed(args, tracer=None, metrics=None, profiler=None):
         "seed": args.seed,
         "accesses": args.accesses,
         "warmup": args.warmup,
+        "bus_model": resolve_bus_model(args.bus_model),
     }
     config = HarnessConfig(
-        check_every=args.check_invariants,
+        check_every=check_every,
+        check_full=check_full,
         checkpoint_path=args.checkpoint,
         checkpoint_every=args.checkpoint_every,
         timeout_seconds=args.timeout,
@@ -599,17 +650,29 @@ def build_parser() -> argparse.ArgumentParser:
     # from an explicit (conflicting) one.  cmd_run falls back to
     # cmp-nurapid when neither is given.
     run_parser.add_argument("--design", choices=sorted(DESIGN_FACTORIES))
+    # No argparse default: None falls back to the REPRO_BUS_MODEL
+    # environment variable and then "atomic" (resolve_bus_model), and
+    # --resume must be able to tell "explicit" from "unset".
+    run_parser.add_argument(
+        "--bus-model",
+        choices=BUS_MODELS,
+        help="interconnect backend: atomic (synchronous, default) or "
+        "eventq (split-phase discrete-event schedule; bit-identical "
+        "at zero occupancy, required for race faults)",
+    )
     _add_workload_options(run_parser)
     _add_obs_options(run_parser)
     run_parser.add_argument("--chart", action="store_true")
     harness_group = run_parser.add_argument_group("robustness harness")
     harness_group.add_argument(
         "--check-invariants",
-        type=int,
+        type=_check_interval,
         default=0,
-        metavar="N",
+        metavar="N|full",
         help="run the model invariant checker every N events "
-        "(1 = paranoid mode, 0 = off)",
+        "(1 = paranoid mode, 0 = off; checks rescan only entries "
+        "touched since the last check).  'full' checks every event "
+        "with complete state rescans",
     )
     harness_group.add_argument(
         "--checkpoint",

@@ -1,0 +1,55 @@
+"""Dirty-set tracking for incremental invariant checking.
+
+Paranoid-mode invariant checking used to rescan the *entire* cache state
+every step — O(full state) per access.  Designs now mark every block
+address and data frame they mutate into a :class:`DirtySet`, and the
+harness rescans only those entries (falling back to a full scan when
+:meth:`DirtySet.mark_all` was called, e.g. after a fault injection whose
+blast radius is unknown).
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+
+class DirtySet:
+    """Addresses and frames touched since the last invariant check."""
+
+    __slots__ = ("addresses", "frames", "full")
+
+    def __init__(self) -> None:
+        self.addresses: "Set[int]" = set()
+        self.frames: "Set[object]" = set()
+        self.full = False
+
+    def mark_address(self, address: int) -> None:
+        if not self.full:
+            self.addresses.add(address)
+
+    def mark_frame(self, frame: object) -> None:
+        if not self.full:
+            self.frames.add(frame)
+
+    def mark_all(self) -> None:
+        """Escalate the next check to a full rescan (unknown blast radius)."""
+        self.full = True
+        self.addresses.clear()
+        self.frames.clear()
+
+    def clear(self) -> None:
+        self.addresses.clear()
+        self.frames.clear()
+        self.full = False
+
+    def __bool__(self) -> bool:
+        return self.full or bool(self.addresses) or bool(self.frames)
+
+    def __repr__(self) -> str:
+        return (
+            f"DirtySet(addresses={len(self.addresses)}, "
+            f"frames={len(self.frames)}, full={self.full})"
+        )
+
+
+__all__ = ["DirtySet"]

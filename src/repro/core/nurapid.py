@@ -96,6 +96,14 @@ class NurapidCache(L2Design):
 
     name = "cmp-nurapid"
 
+    #: Armed by the harness's ``race-delay-repl`` fault (sticky; needs
+    #: an event queue): the next shared-frame eviction frees the frame
+    #: *before* its BusRepl invalidations deliver, leaving stale tag
+    #: pointers naming a dead frame until the deferred delivery fires.
+    race_delay_repl = False
+    #: Human-readable description of the last delayed BusRepl race.
+    last_race = None
+
     def __init__(
         self,
         params: "NurapidParams | None" = None,
@@ -167,7 +175,7 @@ class NurapidCache(L2Design):
         )
 
     def _dgroup_latency(self, core: int, dgroup: int) -> int:
-        return self.crossbar.access(core, dgroup)
+        return self.crossbar.access(core, dgroup, now=self.current_time)
 
     def _sharers(self, address: int) -> "Iterator[tuple[int, NurapidTagEntry]]":
         for core in range(self.num_cores):
@@ -194,6 +202,7 @@ class NurapidCache(L2Design):
             self._trace_transition(core, address, entry.state, I, trigger)
         entry.invalidate()
         self._invalidate_l1(core, address)
+        self._touch(address=address)
 
     def _owner_entry(self, ptr: FramePtr) -> NurapidTagEntry:
         rev = self.data.frame(ptr).rev
@@ -234,14 +243,36 @@ class NurapidCache(L2Design):
         if shared:
             self.counters.shared_evictions += 1
             self._record_bus(BusOp.BUS_REPL, address=address)
-            for core, entry in list(self._sharers(address)):
-                if entry.fwd == ptr and not entry.busy:
-                    self._invalidate_tag(core, entry, address, trigger="BusRepl")
+            if self.race_delay_repl and self.queue is not None:
+                # Injected race: the frame dies now, but the BusRepl
+                # invalidations deliver late — sharers keep forward
+                # pointers into a freed (soon re-occupied) frame.
+                self.race_delay_repl = False
+                self.last_race = (
+                    f"race-delay-repl: BusRepl @{address:#x} frame {ptr} "
+                    "freed before invalidation delivery"
+                )
+                self.queue.schedule(
+                    2 * self.bus_latency, self._deliver_bus_repl,
+                    (address, ptr), label="bus-repl-late",
+                    track="nurapid-repl",
+                )
+            else:
+                for core, entry in list(self._sharers(address)):
+                    if entry.fwd == ptr and not entry.busy:
+                        self._invalidate_tag(core, entry, address, trigger="BusRepl")
         else:
             rev = frame.rev
             assert rev is not None
             self._invalidate_tag(rev.core, owner, address, trigger="eviction")
+        self._touch(address=address, frame=ptr)
         self.data.free(ptr)
+
+    def _deliver_bus_repl(self, address: int, ptr: FramePtr) -> None:
+        """Late BusRepl delivery (the tail of the injected race)."""
+        for core, entry in list(self._sharers(address)):
+            if entry.fwd == ptr and not entry.busy:
+                self._invalidate_tag(core, entry, address, trigger="BusRepl-late")
 
     def _move_block(self, src: FramePtr, dst: FramePtr) -> None:
         """Move a block between frames, fixing the owner's forward pointer."""
@@ -249,6 +280,8 @@ class NurapidCache(L2Design):
         assert rev is not None
         self.data.move(src, dst)
         self.tags[rev.core].entry_at(rev).fwd = dst
+        self._touch(address=self.data.frame(dst).address, frame=src)
+        self._touch(frame=dst)
 
     def _make_room(
         self,
@@ -371,6 +404,8 @@ class NurapidCache(L2Design):
         frame_a.dirty, frame_b.dirty = frame_b.dirty, frame_a.dirty
         self.tags[rev_a.core].entry_at(rev_a).fwd = b
         self.tags[rev_b.core].entry_at(rev_b).fwd = a
+        self._touch(address=frame_a.address, frame=a)
+        self._touch(address=frame_b.address, frame=b)
 
     def _replicate(self, core: int, entry: NurapidTagEntry, address: int) -> None:
         """CR second use: copy the block into the reader's closest d-group.
@@ -394,6 +429,8 @@ class NurapidCache(L2Design):
         my_ptr = self.tags[core].ptr_of(address, entry)
         self.data.occupy(dst, block_address(address, self.block_size), my_ptr)
         entry.fwd = dst
+        self._touch(address=address, frame=dst)
+        self._touch(frame=src)
         src_frame = self.data.frame(src)
         if src_frame.rev == my_ptr:
             for other_core, other in self._sharers(address):
@@ -434,6 +471,8 @@ class NurapidCache(L2Design):
         self.data.occupy(new_ptr, address, rev, dirty=was_dirty)
         for _, sharer in sharers:
             sharer.fwd = new_ptr
+        self._touch(address=address, frame=new_ptr)
+        self._touch(frame=old_ptr)
         self.counters.c_migrations += 1
         if self.tracer.enabled:
             self.tracer.emit(
@@ -495,6 +534,7 @@ class NurapidCache(L2Design):
                         if frame.dirty:
                             self.counters.writebacks += 1
                         self.data.free(fwd)
+                self._touch(frame=fwd)
             self._invalidate_tag(core, entry, address)
 
     # ------------------------------------------------------------------
@@ -611,6 +651,7 @@ class NurapidCache(L2Design):
                 self.counters.writebacks += 1
             self._invalidate_tag(core, victim, victim_address)
             self.data.free(fwd)
+            self._touch(frame=fwd)
             return fwd.dgroup if fwd.dgroup != closest else None
         if is_owner:
             # Shared owner: evict the data copy with a BusRepl.
@@ -632,6 +673,7 @@ class NurapidCache(L2Design):
     ) -> NurapidTagEntry:
         self.tags[core].install(victim, address, state, fwd)
         victim.fill_class = fill_class
+        self._touch(address=address)
         if self.tracer.enabled:
             self._trace_transition(core, address, I, state, "fill")
         return victim
@@ -651,6 +693,7 @@ class NurapidCache(L2Design):
         rev = self.tags[core].ptr_of(address, entry)
         self.data.occupy(ptr, address, rev, dirty=dirty)
         entry.fwd = ptr
+        self._touch(address=address, frame=ptr)
         return ptr
 
     def _dirty_holder(self, address: int) -> "tuple[int, NurapidTagEntry]":
@@ -730,6 +773,7 @@ class NurapidCache(L2Design):
             old_ptr = holder.fwd
             assert old_ptr is not None
             self.data.free(old_ptr)
+            self._touch(frame=old_ptr)
             entry = self._fill_tag(core, address, victim, C, None, MissClass.RWS)
             old_group = old_ptr.dgroup
             stop = old_group if old_group != self.closest(core) else None

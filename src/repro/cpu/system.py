@@ -167,6 +167,20 @@ class CmpSystem:
             colocated=event.colocated,
         )
 
+    def _drain_interconnect(self) -> None:
+        """Fire interconnect events due by the cores' virtual clocks.
+
+        Deferred events (the race faults' late deliveries) fire at the
+        *start* of the following step, so the harness's invariant check
+        — which runs after each step — observes the open race window.
+        In normal operation the queue is already empty here (every
+        transaction drains inside its issuing call) and this is one
+        attribute load and one branch.
+        """
+        queue = getattr(self.design, "queue", None)
+        if queue is not None and queue.pending:
+            queue.run_until(max(core.cycles for core in self.cores))
+
     def step(self, event: TimedAccess) -> None:
         """Execute one timed access (the harness's unit of work).
 
@@ -174,6 +188,7 @@ class CmpSystem:
         an access blows up mid-protocol, the fatal event is already in
         the tracer's ring buffer (the harness's replayable window).
         """
+        self._drain_interconnect()
         if self.tracer.enabled:
             self._trace_step(event)
         core = self.cores[event.access.core]
@@ -195,7 +210,10 @@ class CmpSystem:
         tracer = self.tracer
         traced = tracer.enabled
         metrics = self.metrics
+        queue = getattr(self.design, "queue", None)
         for event in events:
+            if queue is not None and queue.pending:
+                queue.run_until(max(core.cycles for core in self.cores))
             if traced:
                 self._trace_step(event)
             core = self.cores[event.access.core]

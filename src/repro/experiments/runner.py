@@ -58,15 +58,46 @@ DESIGN_FACTORIES: "Dict[str, Callable[[], L2Design]]" = {
 }
 
 
-def build_design(name: str, **kwargs) -> L2Design:
-    """Instantiate a design by its paper name."""
+#: Recognized interconnect backends (``--bus-model`` / REPRO_BUS_MODEL).
+BUS_MODELS = ("atomic", "eventq")
+
+
+def resolve_bus_model(bus_model: "Optional[str]" = None) -> str:
+    """Pick the interconnect backend: explicit arg, env, or atomic."""
+    import os
+
+    if bus_model is None:
+        bus_model = os.environ.get("REPRO_BUS_MODEL") or "atomic"
+    if bus_model not in BUS_MODELS:
+        raise ValueError(
+            f"unknown bus model {bus_model!r}; choose from {BUS_MODELS}"
+        )
+    return bus_model
+
+
+def build_design(
+    name: str, bus_model: "Optional[str]" = None, **kwargs
+) -> L2Design:
+    """Instantiate a design by its paper name.
+
+    ``bus_model`` selects the interconnect backend: ``"atomic"`` (the
+    synchronous default) or ``"eventq"`` (split-phase transactions on a
+    discrete-event queue — bit-identical at zero occupancy).  None
+    defers to the ``REPRO_BUS_MODEL`` environment variable, so CI can
+    run whole suites under the event-queue backend unchanged.
+    """
     try:
         factory = DESIGN_FACTORIES[name]
     except KeyError:
         raise KeyError(
             f"unknown design {name!r}; choose from {sorted(DESIGN_FACTORIES)}"
         ) from None
-    return factory(**kwargs)
+    design = factory(**kwargs)
+    if resolve_bus_model(bus_model) == "eventq":
+        from repro.interconnect.eventq import attach_eventq
+
+        attach_eventq(design)
+    return design
 
 
 def run_design_on_events(

@@ -26,14 +26,26 @@ from repro.harness.checkpoint import (
     load_checkpoint,
     save_checkpoint,
 )
-from repro.harness.faults import FAULT_KINDS, FaultInjector, FaultSpec, FaultSpecError
-from repro.harness.invariants import InvariantViolation, check_design, check_system
+from repro.harness.faults import (
+    FAULT_KINDS,
+    RACE_FAULT_KINDS,
+    FaultInjector,
+    FaultSpec,
+    FaultSpecError,
+)
+from repro.harness.invariants import (
+    InvariantViolation,
+    check_design,
+    check_system,
+    check_system_incremental,
+)
 from repro.harness.runner import HarnessConfig, HarnessRunner, WatchdogTimeout, run_events
 
 __all__ = [
     "Checkpoint",
     "CheckpointError",
     "FAULT_KINDS",
+    "RACE_FAULT_KINDS",
     "FaultInjector",
     "FaultSpec",
     "FaultSpecError",
@@ -43,6 +55,7 @@ __all__ = [
     "WatchdogTimeout",
     "check_design",
     "check_system",
+    "check_system_incremental",
     "load_checkpoint",
     "run_events",
     "save_checkpoint",

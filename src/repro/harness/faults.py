@@ -35,6 +35,28 @@ its latency; ``delay-xbar`` adds a constant penalty to every crossbar
 access.  These model the paper's "random perturbations in memory
 system timing" and double-counting bugs; they leave the model legal,
 so detection is by comparing statistics against a fault-free run.
+
+Protocol race faults (require the ``eventq`` bus model; perturb the
+event *schedule*, never state directly):
+
+=====================  ================================================
+``race-reorder``        a bus grant is reordered: one holder's snoop of
+                        an invalidating BusRdX/BusUpg is deferred past
+                        completion, so two M/E-vs-other copies coexist
+                        until the late delivery (``exclusivity``)
+``race-delay-repl``     a BusRepl's invalidations deliver after its
+                        frame is freed, leaving sharers' forward
+                        pointers dangling (``tag-pointer``)
+``race-stale-snoop``    a BusRd holder's snoop reply goes stale: the
+                        holder downgrades on time but the issuer never
+                        sees the shared signal and fills E beside the
+                        surviving copy (``exclusivity``)
+=====================  ================================================
+
+Race faults are *sticky*: arming happens at the scheduled event index,
+and the perturbation applies to the next eligible transaction.  The
+victim choice draws from the event queue's seeded stream, so a race run
+reproduces exactly from (spec, seed).
 """
 
 from __future__ import annotations
@@ -68,7 +90,13 @@ FAULT_KINDS = (
     "dup-bus",
     "delay-bus",
     "delay-xbar",
+    "race-reorder",
+    "race-delay-repl",
+    "race-stale-snoop",
 )
+
+#: The protocol race subset (only valid with the ``eventq`` bus model).
+RACE_FAULT_KINDS = ("race-reorder", "race-delay-repl", "race-stale-snoop")
 
 
 class FaultSpecError(ValueError):
@@ -144,6 +172,12 @@ class FaultInjector:
         handler = getattr(self, "_fault_" + spec.kind.replace("-", "_"))
         description = handler(system)
         applied = description is not None
+        if applied:
+            # A fault's blast radius is unknown by design; escalate the
+            # next incremental invariant check to a full rescan.
+            dirty = getattr(system.design, "dirty_set", None)
+            if dirty is not None:
+                dirty.mark_all()
         return TraceEvent(
             ev.FAULT,
             cycle=max(
@@ -317,6 +351,34 @@ class FaultInjector:
             return None
         crossbar.fault_extra_latency += 100
         return "crossbar accesses now pay a +100-cycle penalty"
+
+    # -- protocol races (event-queue schedule perturbations) -----------
+
+    def _arm_bus_race(self, system, kind: str) -> "Optional[str]":
+        bus = self._bus(system)
+        if bus is None or getattr(bus, "queue", None) is None:
+            return None
+        bus.race_pending = kind
+        return (
+            f"{kind} armed: next eligible bus transaction's schedule "
+            "will be perturbed"
+        )
+
+    def _fault_race_reorder(self, system) -> "Optional[str]":
+        return self._arm_bus_race(system, "race-reorder")
+
+    def _fault_race_stale_snoop(self, system) -> "Optional[str]":
+        return self._arm_bus_race(system, "race-stale-snoop")
+
+    def _fault_race_delay_repl(self, system) -> "Optional[str]":
+        cache = self._nurapid(system)
+        if cache is None or cache.queue is None:
+            return None
+        cache.race_delay_repl = True
+        return (
+            "race-delay-repl armed: next shared-frame BusRepl's "
+            "invalidations will deliver late"
+        )
 
 
 def parse_fault_specs(texts: "Sequence[str]") -> "tuple[FaultSpec, ...]":

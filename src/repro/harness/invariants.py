@@ -359,3 +359,223 @@ def check_system(system, access_index: "Optional[int]" = None) -> None:
     """Full-system check: design invariants plus L1 inclusion."""
     check_design(system.design, access_index)
     check_inclusion(system, access_index)
+
+
+# ----------------------------------------------------------------------
+# Incremental checking (dirty-set rescans)
+
+def _check_nurapid_address(
+    cache: NurapidCache, address: int, access_index: "Optional[int]"
+) -> None:
+    """Per-block checks for one address, computed from the tag side.
+
+    On a legal state every frame holding ``address`` has a reverse
+    pointer to an owner tag whose forward pointer names it back, so the
+    set of holders' forward pointers equals the frame-side copy set the
+    full scan counts — the incremental check is exact, not a heuristic.
+    (The frame free-list accounting check has no per-address anchor and
+    stays full-scan-only.)
+    """
+    holders = list(cache._sharers(address))
+    if not holders:
+        return
+    cores = [core for core, _ in holders]
+    states = [entry.state for _, entry in holders]
+    copies: "set[FramePtr]" = set()
+    dirty_copies: "set[FramePtr]" = set()
+    for core, entry in holders:
+        if entry.fwd is None:
+            raise InvariantViolation(
+                "tag-pointer",
+                "valid tag entry without a forward pointer",
+                access_index=access_index, address=address,
+                cores=(core,), states=(entry.state,),
+            )
+        frame = cache.data.frame(entry.fwd)
+        if not frame.valid or frame.address != address:
+            raise InvariantViolation(
+                "tag-pointer",
+                f"dangling forward pointer {entry.fwd}",
+                access_index=access_index, address=address,
+                cores=(core,), states=(entry.state,),
+                details=(
+                    f"frame valid={frame.valid} holds={frame.address:#x}"
+                    if frame.valid else "frame is free"
+                ),
+            )
+        copies.add(entry.fwd)
+        if frame.dirty:
+            dirty_copies.add(entry.fwd)
+    exclusive = [s for s in states if s.is_exclusive]
+    if len(exclusive) > 1 or (exclusive and len(states) > 1):
+        raise InvariantViolation(
+            "exclusivity", "M/E copy coexists with other copies",
+            access_index=access_index, address=address,
+            cores=cores, states=states,
+        )
+    if any(s is C for s in states):
+        if any(s is S for s in states):
+            raise InvariantViolation(
+                "c-state", "C and S tag copies coexist",
+                access_index=access_index, address=address,
+                cores=cores, states=states,
+            )
+        if len(copies) != 1:
+            raise InvariantViolation(
+                "c-state",
+                f"C sharers point at {len(copies)} distinct frames",
+                access_index=access_index, address=address,
+                cores=cores, states=states,
+            )
+        if len(dirty_copies) != 1:
+            raise InvariantViolation(
+                "c-state",
+                f"C block has {len(dirty_copies)} dirty copies (need 1)",
+                access_index=access_index, address=address,
+                cores=cores, states=states,
+            )
+    if states[0].is_exclusive and len(copies) != 1:
+        raise InvariantViolation(
+            "single-dirty-copy",
+            f"exclusive block has {len(copies)} data copies",
+            access_index=access_index, address=address,
+            cores=cores, states=states,
+        )
+    if len(dirty_copies) > 1:
+        raise InvariantViolation(
+            "single-dirty-copy",
+            f"block has {len(dirty_copies)} dirty data copies",
+            access_index=access_index, address=address,
+            cores=cores, states=states,
+        )
+    if dirty_copies and not any(s.is_dirty for s in states):
+        raise InvariantViolation(
+            "dirty-copy", "dirty data copy whose holders are all clean-state",
+            access_index=access_index, address=address,
+            cores=cores, states=states,
+        )
+
+
+def _check_nurapid_frame(
+    cache: NurapidCache, ptr: FramePtr, access_index: "Optional[int]"
+) -> None:
+    """Frame-ownership check for one (possibly since-freed) frame."""
+    frame = cache.data.frame(ptr)
+    if not frame.valid:
+        return
+    if frame.rev is None:
+        raise InvariantViolation(
+            "frame-ownership",
+            f"occupied frame {ptr} has no reverse pointer",
+            access_index=access_index, address=frame.address,
+        )
+    owner = cache.tags[frame.rev.core].entry_at(frame.rev)
+    if not owner.valid or owner.fwd != ptr:
+        raise InvariantViolation(
+            "frame-ownership",
+            f"frame {ptr} reverse pointer names a non-owning tag",
+            access_index=access_index, address=frame.address,
+            cores=(frame.rev.core,),
+            states=(owner.state,) if owner.valid else (),
+            details=f"owner.fwd={owner.fwd}",
+        )
+
+
+def _check_mesi_address(
+    caches: PrivateCaches, address: int, access_index: "Optional[int]"
+) -> None:
+    holders = []
+    for core, controller in enumerate(caches.controllers):
+        entry = controller.array.lookup(address, touch=False)
+        if entry is not None:
+            holders.append((core, entry.state))
+    if not holders:
+        return
+    cores = [core for core, _ in holders]
+    states = [state for _, state in holders]
+    if any(s is C for s in states):
+        raise InvariantViolation(
+            "mesi-legality", "MESI cache holds the MESIC-only C state",
+            access_index=access_index, address=address,
+            cores=cores, states=states,
+        )
+    exclusive = [s for s in states if s.is_exclusive]
+    if len(exclusive) > 1 or (exclusive and len(states) > 1):
+        raise InvariantViolation(
+            "exclusivity", "M/E copy coexists with other copies",
+            access_index=access_index, address=address,
+            cores=cores, states=states,
+        )
+
+
+def _check_shared_address(design, address: int, access_index: "Optional[int]") -> None:
+    if isinstance(design, SnucaCache):
+        bank = design.banks[design.bank_of(address)]
+        entry = bank.lookup(design._local_address(address), touch=False)
+    else:
+        entry = design.array.lookup(address, touch=False)
+    if entry is not None and entry.state is C:
+        raise InvariantViolation(
+            "mesi-legality",
+            f"{design.name} cache holds the MESIC-only C state",
+            access_index=access_index, address=address,
+            states=(entry.state,),
+        )
+
+
+def _check_inclusion_address(
+    system, address: int, access_index: "Optional[int]"
+) -> None:
+    """L1 inclusion for the L1 blocks covered by one L2 block."""
+    design = system.design
+    l2_size = design.block_size
+    for core, l1 in enumerate(system.l1s):
+        l1_size = l1.params.geometry.block_size
+        span = max(l2_size, l1_size)
+        base = block_address(address, span)
+        for offset in range(0, span, l1_size):
+            l1_address = base + offset
+            if not l1.probe(l1_address):
+                continue
+            if design_contains(design, core, l1_address) is False:
+                entry = l1.array.lookup(l1_address, touch=False)
+                raise InvariantViolation(
+                    "l1-inclusion",
+                    "L1 block not covered by any live L2 copy",
+                    access_index=access_index, address=l1_address,
+                    cores=(core,),
+                    states=(entry.state,) if entry is not None else (),
+                )
+
+
+def check_system_incremental(system, dirty, access_index: "Optional[int]" = None) -> None:
+    """Rescan only the state marked in ``dirty`` since the last check.
+
+    Equivalent to :func:`check_system` on the marked entries; falls back
+    to the full scan when the dirty set was escalated with
+    :meth:`~repro.common.dirty.DirtySet.mark_all` (fault injection,
+    unknown blast radius).  Clears ``dirty`` on success so the caller
+    can just keep invoking it per step.
+    """
+    if dirty is None or dirty.full:
+        check_system(system, access_index)
+        if dirty is not None:
+            dirty.clear()
+        return
+    if not dirty:
+        return
+    design = system.design
+    if isinstance(design, NurapidCache):
+        for address in dirty.addresses:
+            _check_nurapid_address(design, address, access_index)
+        for ptr in dirty.frames:
+            _check_nurapid_frame(design, ptr, access_index)
+    elif isinstance(design, PrivateCaches):
+        for address in dirty.addresses:
+            _check_mesi_address(design, address, access_index)
+    elif isinstance(design, (SharedCache, IdealCache, SnucaCache)):
+        for address in dirty.addresses:
+            _check_shared_address(design, address, access_index)
+    for address in dirty.addresses:
+        _check_inclusion_address(system, address, access_index)
+    dirty.clear()

@@ -36,10 +36,15 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterable, Optional, Tuple
 
+from repro.common.dirty import DirtySet
 from repro.common.rng import DEFAULT_SEED
 from repro.harness.checkpoint import save_checkpoint
 from repro.harness.faults import FaultInjector, FaultSpec
-from repro.harness.invariants import InvariantViolation, check_system
+from repro.harness.invariants import (
+    InvariantViolation,
+    check_system,
+    check_system_incremental,
+)
 from repro.obs import events as ev
 from repro.obs.events import timed_access_from_event
 from repro.obs.profiler import Profiler
@@ -75,6 +80,11 @@ class HarnessConfig:
     seed: int = DEFAULT_SEED
     window_size: int = 64
     dump_path: "Optional[str]" = None
+    #: Force full-state rescans on every check (``--check-invariants
+    #: full``).  Default is incremental: designs mark mutated entries in
+    #: a dirty set and only those are rescanned (faults escalate the
+    #: next check to a full scan automatically).
+    check_full: bool = False
 
 
 class HarnessRunner:
@@ -114,6 +124,15 @@ class HarnessRunner:
         )
         self._deadline: "Optional[float]" = None
         self._cycle_watermarks = [core.cycles for core in system.cores]
+        # Incremental checking: designs mark mutated entries; the check
+        # rescans only those.  ``check_full`` keeps the old behaviour.
+        self._dirty: "Optional[DirtySet]" = None
+        if self.config.check_every and not self.config.check_full:
+            self._dirty = getattr(system.design, "dirty_set", None) or DirtySet()
+            system.design.dirty_set = self._dirty
+            # The first check has no marking history for pre-existing
+            # state (warm caches, resumed checkpoints): scan fully once.
+            self._dirty.mark_all()
 
     # ------------------------------------------------------------------
 
@@ -145,9 +164,9 @@ class HarnessRunner:
                 if check_every and index % check_every == 0:
                     if profiler is not None:
                         with profiler.section("invariant-check"):
-                            check_system(system, access_index=index)
+                            self._check(index)
                     else:
-                        check_system(system, access_index=index)
+                        self._check(index)
                 if checkpoint_every and index % checkpoint_every == 0:
                     self.checkpoint()
                 if self._deadline is not None and time.monotonic() > self._deadline:
@@ -171,6 +190,13 @@ class HarnessRunner:
                     dump_path=error.dump_path,
                 )
             raise
+
+    def _check(self, index: int) -> None:
+        """One paranoid-mode invariant check (incremental by default)."""
+        if self._dirty is not None:
+            check_system_incremental(self.system, self._dirty, access_index=index)
+        else:
+            check_system(self.system, access_index=index)
 
     def _check_monotonic(self, index: int) -> None:
         """Per-core cycle counts form the model's clock; enforce order."""

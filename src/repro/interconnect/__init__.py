@@ -9,13 +9,23 @@ from repro.interconnect.bus import (
     Snooper,
 )
 from repro.interconnect.crossbar import Crossbar
+from repro.interconnect.eventq import (
+    EventQueue,
+    ScheduledEvent,
+    TIEBREAKS,
+    attach_eventq,
+)
 
 __all__ = [
     "BusOp",
     "BusResult",
     "BusTransaction",
     "Crossbar",
+    "EventQueue",
+    "ScheduledEvent",
     "SnoopBus",
     "SnoopReply",
     "Snooper",
+    "TIEBREAKS",
+    "attach_eventq",
 ]

@@ -10,6 +10,20 @@ that an M or C copy exists so it can transition to C (Section 3.2).
 All designs that use the bus charge Table 1's 32-cycle latency per
 transaction; per the paper we ignore additional arbitration overheads,
 which is conservative *against* CMP-NuRAPID's competitors.
+
+Two execution backends share the latency/statistics math:
+
+* **atomic** (default, ``queue is None``) — one synchronous call snoops
+  every agent in attach order;
+* **eventq** (``queue`` set, normally via
+  :func:`repro.interconnect.eventq.attach_eventq`) — the transaction is
+  decomposed into split phases (request → arbitrate/grant → snoop per
+  agent → completion) scheduled on the event queue and drained before
+  :meth:`SnoopBus.issue` returns, so the synchronous API, statistics,
+  and trace sequence are unchanged at zero occupancy.  The harness's
+  protocol *race* faults perturb this schedule (a victim's snoop
+  deferred past completion, or its reply discarded) — corruptions of
+  event ordering, not of state.
 """
 
 from __future__ import annotations
@@ -79,6 +93,10 @@ class Snooper(Protocol):
         ...
 
 
+#: Race fault kinds the bus can realize as schedule perturbations.
+BUS_RACE_KINDS = ("race-reorder", "race-stale-snoop")
+
+
 @dataclass
 class SnoopBus:
     """Pipelined split-transaction snoopy bus.
@@ -103,6 +121,15 @@ class SnoopBus:
     #: Structured event tracer (disabled by default); the system routes
     #: its tracer here so bus broadcasts appear in recorded traces.
     tracer: "object" = NO_TRACE
+    #: Event queue enabling the split-phase backend (None = atomic).
+    queue: "Optional[object]" = None
+    #: Armed race fault (one of :data:`BUS_RACE_KINDS`); *sticky* — it
+    #: stays armed until an eligible transaction consumes it, so a race
+    #: scheduled at an arbitrary event index still lands.  Requires the
+    #: eventq backend.
+    race_pending: "Optional[str]" = None
+    #: Human-readable description of the last race actually applied.
+    last_race: "Optional[str]" = None
     _snoopers: "list[tuple[int, Snooper]]" = field(default_factory=list)
     _busy_until: int = 0
 
@@ -146,23 +173,14 @@ class SnoopBus:
             # invalidation happens, which the invariant checker must
             # flag as an exclusivity violation downstream.
             return result
+        if self.queue is not None:
+            return self._issue_eventq(txn, now, wait, fault, result)
         rounds = 2 if fault == "dup" else 1
         for round_index in range(rounds):
             for core, snooper in self._snoopers:
                 if core == txn.issuer:
                     continue
-                reply = snooper.snoop(txn)
-                result.shared = result.shared or reply.shared
-                result.dirty = result.dirty or reply.dirty
-                if reply.supplies_data or reply.pointer is not None:
-                    if result.supplier is not None and reply.supplies_data:
-                        raise RuntimeError(
-                            f"two agents supplied data for {txn.address:#x}"
-                        )
-                    if reply.supplies_data:
-                        result.supplier = core
-                    if reply.pointer is not None:
-                        result.pointer = reply.pointer
+                self._collect(result, core, snooper.snoop(txn))
             if round_index == 0 and rounds == 2:
                 # The duplicated broadcast re-runs the snoopers (their
                 # state transitions apply twice) but takes the second
@@ -170,3 +188,163 @@ class SnoopBus:
                 # double-claimed as two data sources.
                 result.supplier = None
         return result
+
+    # ------------------------------------------------------------------
+    # Shared reply aggregation
+
+    @staticmethod
+    def _collect(result: BusResult, core: int, reply: SnoopReply) -> None:
+        result.shared = result.shared or reply.shared
+        result.dirty = result.dirty or reply.dirty
+        if reply.supplies_data or reply.pointer is not None:
+            if result.supplier is not None and reply.supplies_data:
+                raise RuntimeError(
+                    "two agents supplied data for "
+                    f"{'this transaction' if result.supplier == core else hex(0)}"
+                )
+            if reply.supplies_data:
+                result.supplier = core
+            if reply.pointer is not None:
+                result.pointer = reply.pointer
+
+    # ------------------------------------------------------------------
+    # Event-queue backend (split-phase transactions)
+
+    def _issue_eventq(
+        self, txn: BusTransaction, now: int, wait: int, fault: "Optional[str]",
+        result: BusResult,
+    ) -> BusResult:
+        """Schedule the transaction's phases and drain to completion.
+
+        Times are anchored at ``max(now, queue.now)`` (the queue never
+        runs backwards); the *returned* latency was already computed
+        from ``now`` exactly as in atomic mode, so statistics match
+        bit-for-bit.  Extra per-phase trace events are emitted only
+        when the contention model is active — the zero-occupancy trace
+        sequence stays identical to atomic's single ``bus`` record.
+        """
+        queue = self.queue
+        t0 = max(now, queue.now)
+        grant_time = t0 + wait
+        done_time = t0 + result.latency
+        trace_phases = self.tracer.enabled and (self.occupancy or wait)
+        if trace_phases:
+            queue.at(
+                grant_time, self._trace_phase, (txn, "grant", grant_time),
+                priority=-1, label="bus-grant", track=("bus", txn.issuer),
+            )
+        victim = self._race_victim(txn) if self.race_pending else None
+        rounds = 2 if fault == "dup" else 1
+        for round_index in range(rounds):
+            priority = 3 * round_index
+            for core, snooper in self._snoopers:
+                if core == txn.issuer:
+                    continue
+                if victim is not None and core == victim[1] and round_index == 0:
+                    kind = victim[0]
+                    if kind == "race-reorder":
+                        # The victim's snoop is reordered after the
+                        # grant/completion: its reply is lost and its
+                        # state transition fires late, from the queue.
+                        queue.at(
+                            done_time + 2 * self.latency + 1,
+                            self._snoop_apply, (snooper, txn),
+                            label="bus-snoop-late", track=("bus", core),
+                        )
+                        continue
+                    # race-stale-snoop: the victim transitions on time
+                    # but its reply is stale and never reaches the
+                    # issuer's aggregation.
+                    queue.at(
+                        grant_time, self._snoop_apply, (snooper, txn),
+                        priority=priority,
+                        label="bus-snoop-stale", track=("bus", core),
+                    )
+                    continue
+                queue.at(
+                    grant_time, self._snoop_collect,
+                    (result, core, snooper, txn),
+                    priority=priority,
+                    label="bus-snoop", track=("bus", core),
+                )
+            if round_index == 0 and rounds == 2:
+                queue.at(
+                    grant_time, self._reset_supplier, (result,),
+                    priority=1, label="bus-dup-reset",
+                    track=("bus", txn.issuer),
+                )
+        if trace_phases:
+            queue.at(
+                done_time, self._trace_phase, (txn, "complete", done_time),
+                priority=4, label="bus-complete", track=("bus", txn.issuer),
+            )
+        queue.run_until(done_time)
+        return result
+
+    def _snoop_collect(
+        self, result: BusResult, core: int, snooper: Snooper,
+        txn: BusTransaction,
+    ) -> None:
+        self._collect(result, core, snooper.snoop(txn))
+
+    @staticmethod
+    def _snoop_apply(snooper: Snooper, txn: BusTransaction) -> None:
+        """Apply a snoop whose reply is lost (race perturbations)."""
+        snooper.snoop(txn)
+
+    @staticmethod
+    def _reset_supplier(result: BusResult) -> None:
+        result.supplier = None
+
+    def _trace_phase(self, txn: BusTransaction, phase: str, cycle: int) -> None:
+        if self.tracer.enabled:
+            self.tracer.emit(
+                ev.BUS, cycle=cycle, core=txn.issuer, address=txn.address,
+                op=txn.op.value, phase=phase,
+            )
+
+    # ------------------------------------------------------------------
+    # Race fault eligibility
+
+    def _holders(self, txn: BusTransaction) -> "list[int]":
+        """Non-issuer agents holding the block (via optional ``probe``)."""
+        holders = []
+        for core, snooper in self._snoopers:
+            if core == txn.issuer:
+                continue
+            probe = getattr(snooper, "probe", None)
+            if probe is not None and probe(txn.address) is not None:
+                holders.append(core)
+        return holders
+
+    def _race_victim(self, txn: BusTransaction) -> "Optional[tuple[str, int]]":
+        """Consume the armed race if ``txn`` is eligible; pick a victim.
+
+        * ``race-reorder`` needs an invalidating transaction (BusRdX /
+          BusUpg) with at least one non-issuer holder — deferring that
+          holder's snoop leaves its copy alive alongside the issuer's
+          fresh M copy until the late delivery.
+        * ``race-stale-snoop`` needs a BusRd whose *only* non-issuer
+          holder's reply goes stale — the issuer then fills E while the
+          victim (downgraded on time) keeps its copy.
+        """
+        kind = self.race_pending
+        if kind not in BUS_RACE_KINDS or self.queue is None:
+            return None
+        holders = self._holders(txn)
+        if not holders:
+            return None
+        if kind == "race-stale-snoop":
+            if txn.op is not BusOp.BUS_RD or len(holders) != 1:
+                return None
+            chosen = holders[0]
+        else:  # race-reorder
+            if txn.op not in (BusOp.BUS_RDX, BusOp.BUS_UPG):
+                return None
+            chosen = holders[int(self.queue.rng.integers(0, len(holders)))]
+        self.race_pending = None
+        self.last_race = (
+            f"{kind}: {txn.op.value} @{txn.address:#x} issued by core "
+            f"{txn.issuer}, victim core {chosen}"
+        )
+        return (kind, chosen)

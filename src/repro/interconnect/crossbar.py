@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import Optional
 
 
 @dataclass
@@ -28,6 +29,13 @@ class Crossbar:
     #: Extra cycles per access, armed by the harness's ``delay-xbar``
     #: fault to model a degraded interconnect (0 in normal operation).
     fault_extra_latency: int = 0
+    #: Event queue enabling the split-phase backend (None = atomic).
+    #: With a queue attached, each access schedules its data-return
+    #: phase and drains to completion, so the synchronous latency
+    #: contract is preserved while the queue sees real traversal times.
+    queue: "Optional[object]" = None
+    #: Data phases completed through the event queue (diagnostics).
+    completed: int = 0
 
     @property
     def num_cores(self) -> int:
@@ -37,14 +45,33 @@ class Crossbar:
     def num_dgroups(self) -> int:
         return len(self.dgroup_latencies[0]) if self.dgroup_latencies else 0
 
-    def access(self, core: int, dgroup: int) -> int:
-        """Record one data access and return its latency in cycles."""
+    def access(self, core: int, dgroup: int, now: int = 0) -> int:
+        """Record one data access and return its latency in cycles.
+
+        With an event queue attached, the traversal becomes a
+        split-phase transaction: the request is accounted immediately
+        and the data-return phase is scheduled at ``now + latency`` on
+        the requesting core's crossbar track, then drained — the caller
+        still observes the same latency synchronously.
+        """
         if not 0 <= core < self.num_cores:
             raise IndexError(f"core {core} out of range")
         if not 0 <= dgroup < self.num_dgroups:
             raise IndexError(f"d-group {dgroup} out of range")
         self.traffic[(core, dgroup)] += 1
-        return self.dgroup_latencies[core][dgroup] + self.fault_extra_latency
+        latency = self.dgroup_latencies[core][dgroup] + self.fault_extra_latency
+        queue = self.queue
+        if queue is not None:
+            done_time = max(now, queue.now) + latency
+            queue.at(
+                done_time, self._complete, (core, dgroup),
+                label="xbar-data", track=("xbar", core),
+            )
+            queue.run_until(done_time)
+        return latency
+
+    def _complete(self, core: int, dgroup: int) -> None:
+        self.completed += 1
 
     def link_traffic(self, core: int, dgroup: int) -> int:
         return self.traffic[(core, dgroup)]
