@@ -160,6 +160,22 @@ class SetAssociativeArray:
     def occupancy(self) -> int:
         return sum(1 for _ in self.valid_entries())
 
+    def state_dict(self) -> dict:
+        """Columnar snapshot of the valid entries plus the LRU clock.
+
+        Plain dicts of primitives and numpy arrays only — see
+        :mod:`repro.common.serialization` for the field codecs.
+        """
+        from repro.common import serialization
+
+        return serialization.pack_entries(self)
+
+    def load_state_dict(self, state: dict, path: str = "array") -> None:
+        """Restore a :meth:`state_dict` snapshot into this (fresh) array."""
+        from repro.common import serialization
+
+        serialization.unpack_entries(self, state, path)
+
 
 @dataclass
 class EvictionRecord:

@@ -102,3 +102,26 @@ class L2Design(abc.ABC):
     @abc.abstractmethod
     def _access(self, access: Access) -> AccessResult:
         """Design-specific access handling."""
+
+    # -- versioned checkpointing -------------------------------------
+    #
+    # Every design overrides state_dict()/load_state_dict(); the base
+    # class contributes the fields it owns.  Loaders run against a
+    # *freshly built* design (``build_design`` + injection): they may
+    # rebuild internal arrays from the snapshot's recorded geometry, so
+    # a checkpoint taken on a non-default configuration restores onto a
+    # default-built instance.
+
+    def state_dict(self) -> dict:
+        return {
+            "stats": self.stats.state_dict(),
+            "current_time": self.current_time,
+        }
+
+    def load_state_dict(self, state: dict, path: str = "design") -> None:
+        from repro.common import serialization
+
+        self.stats.load_state_dict(
+            serialization.require(state, "stats", path), f"{path}.stats"
+        )
+        self.current_time = int(serialization.require(state, "current_time", path))

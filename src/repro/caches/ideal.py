@@ -52,3 +52,32 @@ class IdealCache(L2Design):
         return AccessResult(
             MissClass.CAPACITY, self.params.hit_latency + self.memory_latency
         )
+
+    def state_dict(self) -> dict:
+        from repro.common import serialization
+
+        state = super().state_dict()
+        state.update(
+            params=serialization.params_state(self.params),
+            num_cores=self.num_cores,
+            memory_latency=self.memory_latency,
+            array=self.array.state_dict(),
+        )
+        return state
+
+    def load_state_dict(self, state: dict, path: str = "design") -> None:
+        from repro.common import serialization
+
+        super().load_state_dict(state, path)
+        self.params = serialization.params_from_state(
+            IdealCacheParams,
+            serialization.require(state, "params", path),
+            f"{path}.params",
+        )
+        self.block_size = self.params.geometry.block_size
+        self.num_cores = int(serialization.require(state, "num_cores", path))
+        self.memory_latency = int(serialization.require(state, "memory_latency", path))
+        self.array = SetAssociativeArray(self.params.geometry)
+        self.array.load_state_dict(
+            serialization.require(state, "array", path), f"{path}.array"
+        )

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 from repro.caches.base import Entry, SetAssociativeArray
 from repro.coherence.states import CoherenceState
+from repro.common import serialization
 from repro.common.params import L1Params
 from repro.common.types import block_address
 
@@ -164,3 +165,34 @@ class L1Cache:
             if self.invalidate(base + offset):
                 count += 1
         return count
+
+    def state_dict(self) -> dict:
+        return {
+            "params": serialization.params_state(self.params),
+            "array": self.array.state_dict(),
+            "stats": serialization.scalar_fields_state(self.stats),
+        }
+
+    def load_state_dict(self, state: dict, path: str = "l1") -> None:
+        """Rebuild the array from the snapshot's geometry, then inject.
+
+        The params in the snapshot win over the ones this instance was
+        constructed with, so a checkpoint taken on a non-default L1
+        geometry restores onto a default-built system.
+        """
+        self.params = serialization.params_from_state(
+            L1Params, serialization.require(state, "params", path), f"{path}.params"
+        )
+        geo = self.params.geometry
+        self.array = SetAssociativeArray(geo, L1Entry)
+        self.array.load_state_dict(
+            serialization.require(state, "array", path), f"{path}.array"
+        )
+        serialization.load_scalar_fields(
+            self.stats, serialization.require(state, "stats", path), f"{path}.stats"
+        )
+        # Re-derive the hot-path mirrors: the array object changed.
+        self._offset_bits = geo.offset_bits
+        self._index_mask = geo.num_sets - 1
+        self._tag_shift = geo.offset_bits + geo.index_bits
+        self._sets = self.array._sets

@@ -197,6 +197,68 @@ class PrivateCaches(L2Design):
         entry = self.controllers[core].array.lookup(address, touch=False)
         return entry.state if entry else CoherenceState.INVALID
 
+    def state_dict(self) -> dict:
+        from repro.common import serialization
+
+        state = super().state_dict()
+        state.update(
+            params=serialization.params_state(self.params),
+            num_cores=self.num_cores,
+            memory_latency=self.memory_latency,
+            bus=self.bus.state_dict(),
+            reuse=self.reuse.state_dict(),
+            counters=serialization.scalar_fields_state(self.counters),
+            controllers=[c.array.state_dict() for c in self.controllers],
+        )
+        return state
+
+    def load_state_dict(self, state: dict, path: str = "design") -> None:
+        from repro.common import serialization
+        from repro.common.serialization import StateDictError
+
+        super().load_state_dict(state, path)
+        self.params = serialization.params_from_state(
+            PrivateCacheParams,
+            serialization.require(state, "params", path),
+            f"{path}.params",
+        )
+        self.block_size = self.params.geometry.block_size
+        self.num_cores = int(serialization.require(state, "num_cores", path))
+        self.memory_latency = int(serialization.require(state, "memory_latency", path))
+        controllers = serialization.require(state, "controllers", path)
+        if len(controllers) != self.num_cores:
+            raise StateDictError(
+                f"{path}.controllers",
+                f"{len(controllers)} controllers in snapshot, "
+                f"num_cores is {self.num_cores}",
+            )
+        # Rebuild the controllers at the snapshot's geometry and rewire
+        # them to the *existing* bus object (its event queue, tracer, and
+        # attach order must survive the swap).
+        self.controllers = [
+            _PrivateController(self, core) for core in range(self.num_cores)
+        ]
+        self.bus._snoopers = []
+        for core, controller in enumerate(self.controllers):
+            self.bus.attach(core, controller)
+        for i, (controller, array_state) in enumerate(
+            zip(self.controllers, controllers)
+        ):
+            controller.array.load_state_dict(
+                array_state, f"{path}.controllers[{i}]"
+            )
+        self.bus.load_state_dict(
+            serialization.require(state, "bus", path), f"{path}.bus"
+        )
+        self.reuse.load_state_dict(
+            serialization.require(state, "reuse", path), f"{path}.reuse"
+        )
+        serialization.load_scalar_fields(
+            self.counters,
+            serialization.require(state, "counters", path),
+            f"{path}.counters",
+        )
+
 
 class UpdateProtocolCaches(PrivateCaches):
     """Update-based private caches — the Section 3.2 strawman.

@@ -85,3 +85,47 @@ class SnucaCache(L2Design):
         bank.install(victim, local, CoherenceState.EXCLUSIVE)
         victim.dirty = access.is_write
         return AccessResult(MissClass.CAPACITY, latency + self.memory_latency)
+
+    def state_dict(self) -> dict:
+        from repro.common import serialization
+
+        state = super().state_dict()
+        state.update(
+            params=serialization.params_state(self.params),
+            num_cores=self.num_cores,
+            memory_latency=self.memory_latency,
+            banks=[bank.state_dict() for bank in self.banks],
+        )
+        return state
+
+    def load_state_dict(self, state: dict, path: str = "design") -> None:
+        from repro.common import serialization
+        from repro.common.serialization import StateDictError
+
+        super().load_state_dict(state, path)
+        self.params = serialization.params_from_state(
+            SnucaParams,
+            serialization.require(state, "params", path),
+            f"{path}.params",
+        )
+        geo = self.params.geometry
+        self.block_size = geo.block_size
+        self.num_cores = int(serialization.require(state, "num_cores", path))
+        self.memory_latency = int(serialization.require(state, "memory_latency", path))
+        self._bank_geometry = CacheGeometry(
+            geo.capacity_bytes // self.params.num_banks,
+            geo.associativity,
+            geo.block_size,
+        )
+        banks = serialization.require(state, "banks", path)
+        if len(banks) != self.params.num_banks:
+            raise StateDictError(
+                f"{path}.banks",
+                f"{len(banks)} banks in snapshot, params say {self.params.num_banks}",
+            )
+        self.banks = [
+            SetAssociativeArray(self._bank_geometry)
+            for _ in range(self.params.num_banks)
+        ]
+        for i, (bank, bank_state) in enumerate(zip(self.banks, banks)):
+            bank.load_state_dict(bank_state, f"{path}.banks[{i}]")

@@ -35,6 +35,17 @@ class CoherenceState(enum.Enum):
         """States guaranteeing no other tag copy exists."""
         return self in (CoherenceState.MODIFIED, CoherenceState.EXCLUSIVE)
 
+    @classmethod
+    def legend(cls) -> "tuple[str, ...]":
+        """Stable value strings in declaration order.
+
+        Checkpoints store coherence state as small integer codes plus
+        this legend; decoding maps codes through the *stored* legend, so
+        reordering or extending the enum never reinterprets a snapshot
+        written by an older build.
+        """
+        return tuple(state.value for state in cls)
+
 
 #: The four MESI states (no C), for validating the baseline protocol.
 MESI_STATES = (

@@ -68,6 +68,16 @@ class AccessStats:
     def merge(self, other: "AccessStats") -> None:
         self.counts.update(other.counts)
 
+    def state_dict(self) -> "list[tuple[str, int]]":
+        from repro.common import serialization
+
+        return serialization.counter_state(self.counts, lambda mc: mc.value)
+
+    def load_state_dict(self, state, path: str = "accesses") -> None:
+        from repro.common import serialization
+
+        serialization.load_counter(self.counts, state, path, MissClass)
+
 
 @dataclass
 class ReuseStats:
@@ -104,6 +114,28 @@ class ReuseStats:
     def merge(self, other: "ReuseStats") -> None:
         self.ros_replaced.update(other.ros_replaced)
         self.rws_invalidated.update(other.rws_invalidated)
+
+    def state_dict(self) -> dict:
+        from repro.common import serialization
+
+        return {
+            "ros_replaced": serialization.counter_state(self.ros_replaced),
+            "rws_invalidated": serialization.counter_state(self.rws_invalidated),
+        }
+
+    def load_state_dict(self, state: dict, path: str = "reuse") -> None:
+        from repro.common import serialization
+
+        serialization.load_counter(
+            self.ros_replaced,
+            serialization.require(state, "ros_replaced", path),
+            f"{path}.ros_replaced",
+        )
+        serialization.load_counter(
+            self.rws_invalidated,
+            serialization.require(state, "rws_invalidated", path),
+            f"{path}.rws_invalidated",
+        )
 
 
 @dataclass
@@ -146,6 +178,16 @@ class DgroupStats:
         self.farther_hits += other.farther_hits
         self.misses += other.misses
 
+    def state_dict(self) -> dict:
+        from repro.common import serialization
+
+        return serialization.scalar_fields_state(self)
+
+    def load_state_dict(self, state: dict, path: str = "dgroups") -> None:
+        from repro.common import serialization
+
+        serialization.load_scalar_fields(self, state, path)
+
 
 @dataclass
 class BusStats:
@@ -162,6 +204,16 @@ class BusStats:
 
     def merge(self, other: "BusStats") -> None:
         self.transactions.update(other.transactions)
+
+    def state_dict(self) -> "list[tuple[str, int]]":
+        from repro.common import serialization
+
+        return serialization.counter_state(self.transactions)
+
+    def load_state_dict(self, state, path: str = "bus") -> None:
+        from repro.common import serialization
+
+        serialization.load_counter(self.transactions, state, path)
 
 
 @dataclass
@@ -209,6 +261,30 @@ class SimulationStats:
         """
         cycles = self.max_cycles
         return self.total_instructions / cycles if cycles else 0.0
+
+    def fingerprint(self) -> "dict[str, object]":
+        """A JSON-able digest of every counter, for exact comparisons.
+
+        Two runs are bit-identical iff their fingerprints are equal;
+        the golden-checkpoint corpus commits these next to the fixture
+        files so a resumed run can be checked across builds.
+        """
+        return {
+            "accesses": {mc.value: self.accesses.counts[mc]
+                         for mc in sorted(self.accesses.counts, key=lambda m: m.value)},
+            "reuse_ros": dict(sorted(self.reuse.ros_replaced.items())),
+            "reuse_rws": dict(sorted(self.reuse.rws_invalidated.items())),
+            "dgroups": {
+                "closest_hits": self.dgroups.closest_hits,
+                "farther_hits": self.dgroups.farther_hits,
+                "misses": self.dgroups.misses,
+            },
+            "bus": dict(sorted(self.bus.transactions.items())),
+            "per_core": [
+                {"instructions": core.instructions, "cycles": core.cycles}
+                for core in self.per_core
+            ],
+        }
 
     def merge(self, other: "SimulationStats") -> None:
         """Accumulate another run's counters into this one, in place.

@@ -155,3 +155,103 @@ class DataArray:
     @property
     def total_occupied(self) -> int:
         return sum(group.occupied_count for group in self.dgroups)
+
+    def state_dict(self) -> dict:
+        """Columnar snapshot: occupied frames sparse, free lists in order.
+
+        The free list's *order* is model state, not bookkeeping —
+        :meth:`DGroup.allocate` pops from its end, so a resumed run must
+        see the same allocation sequence.
+        """
+        groups = []
+        for dgroup in self.dgroups:
+            indices = []
+            addresses = []
+            rev_core = []
+            rev_set = []
+            rev_way = []
+            dirty = []
+            for index, frame in enumerate(dgroup.frames):
+                if not frame.valid:
+                    continue
+                indices.append(index)
+                addresses.append(frame.address)
+                rev = frame.rev
+                rev_core.append(-1 if rev is None else rev.core)
+                rev_set.append(-1 if rev is None else rev.set_index)
+                rev_way.append(-1 if rev is None else rev.way)
+                dirty.append(frame.dirty)
+            groups.append({
+                "num_frames": dgroup.num_frames,
+                "free": np.asarray(dgroup._free, dtype=np.int32),
+                "frame": np.asarray(indices, dtype=np.int32),
+                "address": np.asarray(addresses, dtype=np.int64),
+                "rev_core": np.asarray(rev_core, dtype=np.int32),
+                "rev_set": np.asarray(rev_set, dtype=np.int32),
+                "rev_way": np.asarray(rev_way, dtype=np.int32),
+                "dirty": np.asarray(dirty, dtype=bool),
+            })
+        return {"dgroups": groups}
+
+    def load_state_dict(self, state: dict, path: str = "data") -> None:
+        from repro.common import serialization
+        from repro.common.serialization import StateDictError, require
+
+        groups = require(state, "dgroups", path)
+        if len(groups) != len(self.dgroups):
+            raise StateDictError(
+                f"{path}.dgroups",
+                f"{len(groups)} d-groups in snapshot, this array has "
+                f"{len(self.dgroups)}",
+            )
+        for g, (dgroup, group_state) in enumerate(zip(self.dgroups, groups)):
+            gpath = f"{path}.dgroups[{g}]"
+            num_frames = require(group_state, "num_frames", gpath)
+            if num_frames != dgroup.num_frames:
+                raise StateDictError(
+                    f"{gpath}.num_frames",
+                    f"snapshot has {num_frames}, this d-group has "
+                    f"{dgroup.num_frames}",
+                )
+            free = np.asarray(require(group_state, "free", gpath))
+            frame_idx = np.asarray(require(group_state, "frame", gpath))
+            count = len(frame_idx)
+            columns = {
+                name: serialization._column_array(
+                    require(group_state, name, gpath), count, f"{gpath}.{name}"
+                )
+                for name in ("address", "rev_core", "rev_set", "rev_way", "dirty")
+            }
+            occupied = set()
+            for frame in dgroup.frames:
+                frame.clear()
+            for row in range(count):
+                index = int(frame_idx[row])
+                if not 0 <= index < num_frames:
+                    raise StateDictError(
+                        f"{gpath}.frame[{row}]",
+                        f"frame {index} outside {num_frames} frames",
+                    )
+                if index in occupied:
+                    raise StateDictError(
+                        f"{gpath}.frame[{row}]", f"frame {index} listed twice"
+                    )
+                occupied.add(index)
+                frame = dgroup.frames[index]
+                frame.valid = True
+                frame.address = int(columns["address"][row])
+                core = int(columns["rev_core"][row])
+                frame.rev = None if core < 0 else TagPtr(
+                    core,
+                    int(columns["rev_set"][row]),
+                    int(columns["rev_way"][row]),
+                )
+                frame.dirty = bool(columns["dirty"][row])
+            free_list = [int(index) for index in free]
+            if sorted(free_list + sorted(occupied)) != list(range(num_frames)):
+                raise StateDictError(
+                    f"{gpath}.free",
+                    f"free list ({len(free_list)}) and occupied frames "
+                    f"({len(occupied)}) do not partition {num_frames} frames",
+                )
+            dgroup._free = free_list

@@ -904,6 +904,87 @@ class NurapidCache(L2Design):
         return base_latency + self.memory_latency + self.bus_latency
 
     # ------------------------------------------------------------------
+    # Versioned checkpointing
+
+    def state_dict(self) -> dict:
+        from repro.common import serialization
+
+        state = super().state_dict()
+        state.update(
+            params=serialization.params_state(self.params),
+            bus_latency=self.bus_latency,
+            memory_latency=self.memory_latency,
+            enable_cr=self.enable_cr,
+            enable_isc=self.enable_isc,
+            prefs=tuple(tuple(row) for row in self.prefs),
+            tags=[tags.state_dict() for tags in self.tags],
+            data=self.data.state_dict(),
+            crossbar=self.crossbar.state_dict(),
+            bus_stats=self.bus_stats.state_dict(),
+            dgroup_stats=self.dgroup_stats.state_dict(),
+            counters=serialization.scalar_fields_state(self.counters),
+            rng=serialization.rng_state(self._rng),
+            protect=sorted((ptr.dgroup, ptr.frame) for ptr in self._protect),
+            race_delay_repl=bool(self.race_delay_repl),
+            last_race=self.last_race,
+        )
+        return state
+
+    def load_state_dict(self, state: dict, path: str = "design") -> None:
+        from repro.common import serialization
+        from repro.common.serialization import StateDictError, require
+
+        super().load_state_dict(state, path)
+        self.params = serialization.params_from_state(
+            NurapidParams, require(state, "params", path), f"{path}.params"
+        )
+        self.block_size = self.params.block_size
+        self.num_cores = self.params.num_cores
+        self.bus_latency = int(require(state, "bus_latency", path))
+        self.memory_latency = int(require(state, "memory_latency", path))
+        self.enable_cr = bool(require(state, "enable_cr", path))
+        self.enable_isc = bool(require(state, "enable_isc", path))
+        self.prefs = tuple(tuple(row) for row in require(state, "prefs", path))
+        tags = require(state, "tags", path)
+        if len(tags) != self.num_cores:
+            raise StateDictError(
+                f"{path}.tags",
+                f"{len(tags)} tag arrays in snapshot, num_cores is "
+                f"{self.num_cores}",
+            )
+        self.tags = [
+            TagArray(core, self.params.tag_geometry)
+            for core in range(self.num_cores)
+        ]
+        for core, (array, tag_state) in enumerate(zip(self.tags, tags)):
+            array.load_state_dict(tag_state, f"{path}.tags[{core}]")
+        self.data = DataArray(
+            self.params.num_dgroups, self.params.frames_per_dgroup
+        )
+        self.data.load_state_dict(require(state, "data", path), f"{path}.data")
+        # The crossbar object is kept (its event queue must survive);
+        # only its contents are restored.
+        self.crossbar.load_state_dict(
+            require(state, "crossbar", path), f"{path}.crossbar"
+        )
+        self.bus_stats.load_state_dict(
+            require(state, "bus_stats", path), f"{path}.bus_stats"
+        )
+        self.dgroup_stats.load_state_dict(
+            require(state, "dgroup_stats", path), f"{path}.dgroup_stats"
+        )
+        serialization.load_scalar_fields(
+            self.counters, require(state, "counters", path), f"{path}.counters"
+        )
+        serialization.load_rng(self._rng, require(state, "rng", path), f"{path}.rng")
+        self._protect = {
+            FramePtr(int(dgroup), int(frame))
+            for dgroup, frame in require(state, "protect", path)
+        }
+        self.race_delay_repl = bool(require(state, "race_delay_repl", path))
+        self.last_race = state.get("last_race")
+
+    # ------------------------------------------------------------------
     # Entry point and invariants
 
     def _access(self, access: Access) -> AccessResult:

@@ -93,3 +93,19 @@ class TagArray:
 
     def address_of(self, set_index: int, entry: NurapidTagEntry) -> int:
         return self.array.block_address(set_index, entry)
+
+    def state_dict(self) -> dict:
+        return {"core": self.core, "entries": self.array.state_dict()}
+
+    def load_state_dict(self, state: dict, path: str = "tags") -> None:
+        from repro.common import serialization
+        from repro.common.serialization import StateDictError
+
+        core = serialization.require(state, "core", path)
+        if core != self.core:
+            raise StateDictError(
+                f"{path}.core", f"snapshot is core {core}, this array is {self.core}"
+            )
+        self.array.load_state_dict(
+            serialization.require(state, "entries", path), f"{path}.entries"
+        )

@@ -71,3 +71,13 @@ class InOrderCore:
     def ipc(self) -> float:
         cycles = self.measured_cycles
         return self.measured_instructions / cycles if cycles else 0.0
+
+    def state_dict(self) -> dict:
+        from repro.common import serialization
+
+        return serialization.scalar_fields_state(self)
+
+    def load_state_dict(self, state: dict, path: str = "core") -> None:
+        from repro.common import serialization
+
+        serialization.load_scalar_fields(self, state, path)

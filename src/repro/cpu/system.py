@@ -225,6 +225,80 @@ class CmpSystem:
             if metrics is not None:
                 metrics.on_step()
 
+    def state_dict(self) -> dict:
+        """Full model state as plain dicts of primitives and numpy arrays.
+
+        Observability (tracer/metrics/profiler) is per-process and never
+        part of a snapshot; pending event-queue deferrals are encoded
+        separately by :mod:`repro.harness.checkpoint`, which knows the
+        component graph needed to name their bound actions.
+        """
+        from repro.common import serialization
+
+        state = {
+            "params": serialization.params_state(self.params),
+            "cores": [core.state_dict() for core in self.cores],
+            "l1s": [l1.state_dict() for l1 in self.l1s],
+            "design": self.design.state_dict(),
+        }
+        queue = getattr(self.design, "queue", None)
+        if queue is not None:
+            state["eventq"] = queue.state_dict()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Inject a :meth:`state_dict` snapshot into this fresh system.
+
+        The snapshot's :class:`SystemParams` win over construction-time
+        ones (cores and L1s are rebuilt from them), so non-default
+        geometries restore onto a default-built system.  The design must
+        already be the right one (``build_design`` chose it from the
+        checkpoint envelope); its internals are rebuilt by its own
+        ``load_state_dict``.
+        """
+        from repro.common import serialization
+        from repro.common.serialization import StateDictError, require
+
+        self.params = serialization.params_from_state(
+            SystemParams, require(state, "params", "system"), "system.params"
+        )
+        cores = require(state, "cores", "system")
+        l1s = require(state, "l1s", "system")
+        if len(cores) != self.params.num_cores:
+            raise StateDictError(
+                "system.cores",
+                f"{len(cores)} cores in snapshot, params say {self.params.num_cores}",
+            )
+        if len(l1s) != self.params.num_cores:
+            raise StateDictError(
+                "system.l1s",
+                f"{len(l1s)} L1s in snapshot, params say {self.params.num_cores}",
+            )
+        self.l1s = [L1Cache(self.params.l1) for _ in range(self.params.num_cores)]
+        self.cores = [
+            InOrderCore(i, self.params.l1.latency)
+            for i in range(self.params.num_cores)
+        ]
+        for i, (core, core_state) in enumerate(zip(self.cores, cores)):
+            core.load_state_dict(core_state, f"system.cores[{i}]")
+        for i, (l1, l1_state) in enumerate(zip(self.l1s, l1s)):
+            l1.load_state_dict(l1_state, f"system.l1s[{i}]")
+        self.design.load_state_dict(require(state, "design", "system"), "design")
+        self.design.set_l1_invalidate_hook(self._on_l2_invalidate)
+        queue = getattr(self.design, "queue", None)
+        if "eventq" in state:
+            if queue is None:
+                raise StateDictError(
+                    "system.eventq",
+                    "snapshot carries event-queue state but this system was "
+                    "built with the atomic bus model",
+                )
+            queue.load_state_dict(state["eventq"], "system.eventq")
+        elif queue is not None and queue.pending:
+            raise StateDictError(
+                "system.eventq", "fresh queue is not empty before restore"
+            )
+
     def stats(self) -> SimulationStats:
         """Collect the run's statistics from every component."""
         stats = SimulationStats(accesses=self.design.stats)

@@ -21,9 +21,12 @@ multi-million-access runs survive crashes:
 """
 
 from repro.harness.checkpoint import (
+    FORMAT_VERSION,
+    MIGRATIONS,
     Checkpoint,
     CheckpointError,
     load_checkpoint,
+    register_migration,
     save_checkpoint,
 )
 from repro.harness.faults import (
@@ -44,6 +47,9 @@ from repro.harness.runner import HarnessConfig, HarnessRunner, WatchdogTimeout, 
 __all__ = [
     "Checkpoint",
     "CheckpointError",
+    "FORMAT_VERSION",
+    "MIGRATIONS",
+    "register_migration",
     "FAULT_KINDS",
     "RACE_FAULT_KINDS",
     "FaultInjector",

@@ -1,40 +1,80 @@
-"""Checkpoint/resume: snapshot full simulator state, resume bit-identically.
+"""Versioned, design-aware checkpoints with bit-identical resume.
 
-A checkpoint pickles the whole :class:`~repro.cpu.system.CmpSystem` —
-caches (tag arrays, data frames, free lists, LRU clocks), coherence
-state, statistics, the design's RNG streams, and per-core timing —
-plus the global event index and caller metadata (design name, workload,
-seed, run lengths) so the CLI can rebuild the deterministic event
-stream, skip the already-consumed prefix, and continue exactly where a
-killed run stopped.  Because every stochastic component draws from
-pickled :mod:`numpy` generators and the workload generators are pure
-functions of (seed, events consumed), a resumed run finishes with
-bit-identical :class:`~repro.common.stats.SimulationStats`.
+Format version 2 (the default) snapshots the simulator as a **state
+dict**: every stateful component — tag arrays, data frames and free
+lists, LRU/timestamp clocks, MESIC line states, CR pointer maps,
+per-core timing, RNG bit-generator states, pending event-queue
+deferrals — contributes plain dicts of primitives and numpy arrays via
+its ``state_dict()`` method.  The envelope written to disk holds only
+that data plus identification fields::
 
-Files are written atomically (temp file + ``os.replace``) so a run
-killed mid-checkpoint never leaves a truncated snapshot behind.
+    {"magic": "repro-checkpoint", "version": 2,
+     "design": <DESIGN_FACTORIES name>, "bus_model": "atomic"|"eventq",
+     "seed": <workload seed or None>, "event_index": <int>,
+     "meta": {...caller metadata...}, "state": {...state dicts...}}
 
-Observability state is *not* part of a snapshot: tracers may hold open
-file sinks and a :class:`~repro.obs.Profiler` shadows methods with
-closures, neither of which pickles.  :func:`save_checkpoint` detaches
-them for the duration of the dump and restores them afterwards; the
-resuming process re-attaches its own tracer/metrics/profiler.
+Loading **rebuilds** the system through
+:func:`~repro.experiments.runner.build_design` + ``CmpSystem`` and
+injects the state with ``load_state_dict()`` — internal classes are
+never unpickled, so renaming or refactoring them cannot invalidate a
+snapshot.  The envelope is validated (magic, version, design name,
+bus model, seed, array shapes) with precise :class:`CheckpointError`
+diagnostics naming the failing field.
+
+Version 1 — the legacy whole-object pickle of ``CmpSystem`` — remains
+loadable through the migration registry: :data:`MIGRATIONS` maps each
+older version to an upgrade function; v1 payloads are upgraded by
+extracting a v2 state dict from the unpickled system and then restored
+through the normal rebuild-and-inject path.  (v1 is the one format
+that *does* reference internal classes by name; a v1 snapshot predating
+a rename needs the old names importable.)
+
+Pending event-queue deferrals (the race faults' late deliveries) are
+encoded by *owner and method name* — e.g. ``("design",
+"_deliver_bus_repl")`` — with their arguments broken into tagged
+primitive tuples, and re-enqueued on load with their original sequence
+numbers so the restored heap fires in exactly the pre-checkpoint order.
+
+Files are written atomically (temp file + ``os.replace``); a run killed
+mid-checkpoint leaves only a ``*.tmp`` file behind, which the loader
+reports explicitly.
 """
 
 from __future__ import annotations
 
+import gzip
 import os
 import pickle
+import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
+from repro.common.serialization import StateDictError
 from repro.obs.tracer import NO_TRACE
 
-#: Bump when the payload layout changes; load refuses mismatches.
-FORMAT_VERSION = 1
+#: Current checkpoint payload layout; older versions load via MIGRATIONS.
+FORMAT_VERSION = 2
 
 _MAGIC = "repro-checkpoint"
+
+_GZIP_MAGIC = b"\x1f\x8b"
+
+#: Exceptions a hostile or stale pickle can raise: I/O and truncation,
+#: but also ``AttributeError``/``ModuleNotFoundError``/``ImportError``
+#: from class references that no longer resolve after a refactor.
+_UNPICKLE_ERRORS = (
+    OSError,
+    pickle.UnpicklingError,
+    EOFError,
+    AttributeError,
+    ModuleNotFoundError,
+    ImportError,
+    IndexError,
+    ValueError,
+    TypeError,
+    zlib.error,
+)
 
 
 class CheckpointError(RuntimeError):
@@ -48,16 +88,168 @@ class Checkpoint:
     event_index: int
     system: Any
     meta: "Dict[str, Any]" = field(default_factory=dict)
+    #: Format version the file was written with (before migration).
+    version: int = FORMAT_VERSION
+
+
+# ----------------------------------------------------------------------
+# Pending event-queue deferrals
+#
+# Only interconnect deferrals can be pending at a step boundary (normal
+# transactions drain inside their issuing call), and their bound actions
+# live on the design, its bus, or its crossbar.  Encoding is by owner
+# key + method name; arguments become tagged primitive tuples.
+
+
+def _action_owners(system) -> "Dict[str, Any]":
+    design = system.design
+    owners: "Dict[str, Any]" = {"design": design}
+    bus = getattr(design, "bus", None)
+    if bus is not None:
+        owners["bus"] = bus
+    crossbar = getattr(design, "crossbar", None)
+    if crossbar is not None:
+        owners["crossbar"] = crossbar
+    return owners
+
+
+def _encode_action(system, event) -> "Tuple[str, str]":
+    action = event.action
+    name = getattr(action, "__name__", "")
+    if name:
+        for key, owner in _action_owners(system).items():
+            if getattr(owner, name, None) == action:
+                return (key, name)
+    raise CheckpointError(
+        f"pending event {event.label!r} at t={event.time} has an action "
+        f"({action!r}) not owned by the design, bus, or crossbar; it "
+        "cannot be checkpointed"
+    )
+
+
+def _encode_arg(system, arg, label: str):
+    from repro.core.pointers import FramePtr
+    from repro.interconnect.bus import BusTransaction
+
+    if arg is None or isinstance(arg, (bool, int, str)):
+        return ("lit", arg)
+    if isinstance(arg, FramePtr):
+        return ("frameptr", int(arg.dgroup), int(arg.frame))
+    if isinstance(arg, BusTransaction):
+        return ("bustxn", arg.op.value, arg.address, arg.issuer)
+    controllers = getattr(system.design, "controllers", None)
+    core = getattr(arg, "core", None)
+    if (
+        controllers is not None
+        and isinstance(core, int)
+        and 0 <= core < len(controllers)
+        and controllers[core] is arg
+    ):
+        return ("snooper", core)
+    raise CheckpointError(
+        f"pending event {label!r} carries an unencodable argument "
+        f"{type(arg).__name__}; it cannot be checkpointed"
+    )
+
+
+def _decode_arg(system, encoded, path: str):
+    from repro.core.pointers import FramePtr
+    from repro.interconnect.bus import BusOp, BusTransaction
+
+    if not isinstance(encoded, (tuple, list)) or not encoded:
+        raise CheckpointError(f"{path}: malformed event argument {encoded!r}")
+    kind = encoded[0]
+    if kind == "lit":
+        return encoded[1]
+    if kind == "frameptr":
+        return FramePtr(int(encoded[1]), int(encoded[2]))
+    if kind == "bustxn":
+        try:
+            op = BusOp(encoded[1])
+        except ValueError:
+            raise CheckpointError(
+                f"{path}: unknown bus op {encoded[1]!r}"
+            ) from None
+        return BusTransaction(op, int(encoded[2]), int(encoded[3]))
+    if kind == "snooper":
+        controllers = getattr(system.design, "controllers", None)
+        core = int(encoded[1])
+        if controllers is None or not 0 <= core < len(controllers):
+            raise CheckpointError(
+                f"{path}: snooper core {core} does not exist in the "
+                "rebuilt design"
+            )
+        return controllers[core]
+    raise CheckpointError(f"{path}: unknown event-argument tag {kind!r}")
+
+
+def _encode_pending_events(system) -> "List[Dict[str, Any]]":
+    queue = system.design.queue
+    events = []
+    for event in queue.pending_events():
+        events.append({
+            "time": event.time,
+            "priority": event.priority,
+            "seq": event.seq,
+            "label": event.label,
+            "track": event.track,
+            "action": _encode_action(system, event),
+            "args": [
+                _encode_arg(system, arg, event.label) for arg in event.args
+            ],
+        })
+    return events
+
+
+def _restore_pending_events(
+    system, events: "List[Dict[str, Any]]", path: str
+) -> None:
+    queue = system.design.queue
+    owners = _action_owners(system)
+    for i, state in enumerate(events):
+        epath = f"{path}[{i}]"
+        if not isinstance(state, dict):
+            raise CheckpointError(f"{epath}: expected a dict")
+        try:
+            owner_key, name = state["action"]
+        except (KeyError, TypeError, ValueError):
+            raise CheckpointError(f"{epath}.action: malformed") from None
+        owner = owners.get(owner_key)
+        if owner is None:
+            raise CheckpointError(
+                f"{epath}.action: the rebuilt design has no {owner_key!r} "
+                "component"
+            )
+        action = getattr(owner, str(name), None)
+        if not callable(action):
+            raise CheckpointError(
+                f"{epath}.action: {owner_key}.{name} does not exist in "
+                "this build"
+            )
+        args = tuple(
+            _decode_arg(system, arg, f"{epath}.args[{j}]")
+            for j, arg in enumerate(state.get("args", ()))
+        )
+        try:
+            queue.restore_event(
+                int(state["time"]), int(state["priority"]), int(state["seq"]),
+                action, args, str(state.get("label", "")), state.get("track"),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise CheckpointError(f"{epath}: {error}") from None
+
+
+# ----------------------------------------------------------------------
+# v1 legacy support (whole-object pickle)
 
 
 def _detach_observability(system) -> "List[Tuple[Any, ...]]":
     """Strip per-process observability state; return an undo list.
 
-    Covers the attached tracer (may hold an open sink file), the bound
-    metrics collector (back-references the system and would bloat the
-    snapshot), and any profiler method shadows — instance attributes
-    whose value carries ``__wrapped__``, installed by
-    :meth:`~repro.obs.Profiler.instrument`.
+    Only the legacy v1 writer needs this: it pickles the live system,
+    whose tracer may hold an open sink file and whose profiler shadows
+    methods with closures.  The v2 writer reads state dicts and never
+    touches these.
     """
     undo: "List[Tuple[Any, ...]]" = []
     tracer = getattr(system, "tracer", None)
@@ -100,57 +292,271 @@ def _restore_observability(system, undo: "List[Tuple[Any, ...]]") -> None:
             setattr(obj, name, value)
 
 
+# ----------------------------------------------------------------------
+# Migration registry
+
+#: from-version -> upgrade function producing the next version's payload.
+#: Chains run until the payload reaches :data:`FORMAT_VERSION`; a version
+#: with no entry (and != FORMAT_VERSION) is a precise load error.
+MIGRATIONS: "Dict[int, Callable[[Dict[str, Any]], Dict[str, Any]]]" = {}
+
+
+def register_migration(from_version: int):
+    """Register an upgrade from ``from_version`` to the next layout."""
+
+    def decorator(fn):
+        MIGRATIONS[from_version] = fn
+        return fn
+
+    return decorator
+
+
+@register_migration(1)
+def _migrate_v1(payload: "Dict[str, Any]") -> "Dict[str, Any]":
+    """v1 (whole-object pickle) -> v2 (state-dict envelope).
+
+    The legacy system object was already unpickled with the payload;
+    upgrading extracts its state dict so the caller restores through the
+    same rebuild-and-inject path as a native v2 file — including a
+    bit-identical resume of any pending race-fault deferral.
+    """
+    system = payload.get("system")
+    if system is None or not hasattr(system, "state_dict"):
+        raise CheckpointError(
+            "v1 checkpoint has no restorable system object"
+        )
+    meta = dict(payload.get("meta", {}))
+    design = system.design
+    queue = getattr(design, "queue", None)
+    try:
+        state = system.state_dict()
+        if queue is not None:
+            state["eventq"]["events"] = _encode_pending_events(system)
+    except StateDictError as error:
+        raise CheckpointError(
+            f"v1 checkpoint state could not be extracted: {error}"
+        ) from None
+    return {
+        "magic": _MAGIC,
+        "version": 2,
+        "design": meta.get("design") or design.name,
+        "bus_model": "eventq" if queue is not None else "atomic",
+        "seed": meta.get("seed"),
+        "event_index": payload.get("event_index", 0),
+        "meta": meta,
+        "state": state,
+    }
+
+
+# ----------------------------------------------------------------------
+# Saving
+
+
 def save_checkpoint(
     system,
     event_index: int,
     path: "Union[str, Path]",
     meta: "Optional[Dict[str, Any]]" = None,
+    format_version: int = FORMAT_VERSION,
 ) -> None:
-    """Atomically write a full-state snapshot to ``path``.
+    """Atomically write a snapshot of ``system`` to ``path``.
 
-    Tracer, metrics, and profiler instrumentation are detached for the
-    duration of the dump (they are per-process, not model state) and
-    restored before returning, so a traced run keeps tracing across its
-    periodic checkpoints.
+    ``format_version`` selects the on-disk layout: 2 (default) writes
+    the state-dict envelope (gzip-compressed — the sparse columnar
+    arrays compress well); 1 writes the legacy whole-object pickle for
+    compatibility tooling.  Both are written atomically (temp file +
+    ``os.replace``) so a killed run never leaves a truncated snapshot
+    under the final name.
     """
-    payload = {
-        "magic": _MAGIC,
-        "version": FORMAT_VERSION,
-        "event_index": event_index,
-        "meta": dict(meta or {}),
-        "system": system,
-    }
+    if format_version not in (1, FORMAT_VERSION):
+        raise CheckpointError(
+            f"cannot write checkpoint format version {format_version}; "
+            f"supported: 1 and {FORMAT_VERSION}"
+        )
+    meta = dict(meta or {})
     path = Path(path)
     temp = path.with_name(path.name + ".tmp")
-    undo = _detach_observability(system)
+
+    if format_version == 1:
+        payload = {
+            "magic": _MAGIC,
+            "version": 1,
+            "event_index": event_index,
+            "meta": meta,
+            "system": system,
+        }
+        undo = _detach_observability(system)
+        try:
+            with open(temp, "wb") as handle:
+                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        finally:
+            _restore_observability(system, undo)
+        os.replace(temp, path)
+        return
+
+    design = system.design
+    queue = getattr(design, "queue", None)
     try:
-        with open(temp, "wb") as handle:
-            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
-    finally:
-        _restore_observability(system, undo)
+        state = system.state_dict()
+        if queue is not None:
+            state["eventq"]["events"] = _encode_pending_events(system)
+    except StateDictError as error:
+        raise CheckpointError(f"cannot snapshot system state: {error}") from None
+    envelope = {
+        "magic": _MAGIC,
+        "version": FORMAT_VERSION,
+        "design": meta.get("design") or getattr(design, "name", None),
+        "bus_model": "eventq" if queue is not None else "atomic",
+        "seed": meta.get("seed"),
+        "event_index": event_index,
+        "meta": meta,
+        "state": state,
+    }
+    blob = gzip.compress(
+        pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL), mtime=0
+    )
+    with open(temp, "wb") as handle:
+        handle.write(blob)
     os.replace(temp, path)
 
 
+# ----------------------------------------------------------------------
+# Loading
+
+
+def _read_payload(path: Path) -> "Tuple[Dict[str, Any], int]":
+    """Read, decompress, unpickle, and envelope-validate ``path``.
+
+    Returns ``(payload, version_as_written)`` with the payload already
+    migrated to :data:`FORMAT_VERSION`.
+    """
+    try:
+        data = path.read_bytes()
+    except OSError as error:
+        raise CheckpointError(f"checkpoint {path} is unreadable: {error}") from None
+    if data[:2] == _GZIP_MAGIC:
+        try:
+            data = gzip.decompress(data)
+        except (OSError, EOFError, zlib.error) as error:
+            raise CheckpointError(
+                f"checkpoint {path} is truncated or corrupt "
+                f"(gzip layer): {error}"
+            ) from None
+    try:
+        payload = pickle.loads(data)
+    except _UNPICKLE_ERRORS as error:
+        raise CheckpointError(
+            f"checkpoint {path} is unreadable "
+            f"({type(error).__name__}): {error}"
+        ) from None
+    if not isinstance(payload, dict) or payload.get("magic") != _MAGIC:
+        raise CheckpointError(
+            f"{path} is not a repro checkpoint (field 'magic': expected "
+            f"{_MAGIC!r}, got {payload.get('magic')!r})"
+            if isinstance(payload, dict)
+            else f"{path} is not a repro checkpoint"
+        )
+    version = payload.get("version")
+    if not isinstance(version, int):
+        raise CheckpointError(
+            f"checkpoint {path} field 'version' is {version!r}, not an int"
+        )
+    written_version = version
+    seen = set()
+    while version != FORMAT_VERSION:
+        migrate = MIGRATIONS.get(version)
+        if migrate is None or version in seen:
+            raise CheckpointError(
+                f"checkpoint {path} has format version {version} and no "
+                f"migration path to version {FORMAT_VERSION} "
+                f"(migrations exist for: {sorted(MIGRATIONS) or 'none'})"
+            )
+        seen.add(version)
+        payload = migrate(payload)
+        version = payload.get("version")
+        if not isinstance(version, int):
+            raise CheckpointError(
+                f"migration from version {max(seen)} produced an invalid "
+                f"'version' field: {version!r}"
+            )
+    return payload, written_version
+
+
+def _validate_envelope(payload: "Dict[str, Any]", path: Path) -> None:
+    from repro.experiments.runner import BUS_MODELS, DESIGN_FACTORIES
+
+    design = payload.get("design")
+    if not isinstance(design, str) or design not in DESIGN_FACTORIES:
+        raise CheckpointError(
+            f"checkpoint {path} field 'design' is {design!r}; known "
+            f"designs: {sorted(DESIGN_FACTORIES)}"
+        )
+    bus_model = payload.get("bus_model")
+    if bus_model not in BUS_MODELS:
+        raise CheckpointError(
+            f"checkpoint {path} field 'bus_model' is {bus_model!r}; "
+            f"expected one of {BUS_MODELS}"
+        )
+    seed = payload.get("seed")
+    if seed is not None and not isinstance(seed, int):
+        raise CheckpointError(
+            f"checkpoint {path} field 'seed' is {seed!r}, not an int"
+        )
+    event_index = payload.get("event_index")
+    if not isinstance(event_index, int) or event_index < 0:
+        raise CheckpointError(
+            f"checkpoint {path} field 'event_index' is {event_index!r}, "
+            "not a non-negative int"
+        )
+    if not isinstance(payload.get("state"), dict):
+        raise CheckpointError(
+            f"checkpoint {path} field 'state' is missing or not a dict"
+        )
+
+
 def load_checkpoint(path: "Union[str, Path]") -> Checkpoint:
-    """Load a snapshot written by :func:`save_checkpoint`."""
+    """Load a snapshot, rebuilding the system from its state dict.
+
+    Older format versions are upgraded in memory through
+    :data:`MIGRATIONS` first.  Every failure mode — missing file,
+    interrupted write, truncation, foreign file, unknown version,
+    refactored class reference in a legacy pickle, or a structurally
+    invalid state dict — raises :class:`CheckpointError` naming what
+    failed; bare pickle exceptions never escape.
+    """
     path = Path(path)
     if not path.exists():
+        temp = path.with_name(path.name + ".tmp")
+        if temp.exists():
+            raise CheckpointError(
+                f"checkpoint {path} does not exist, but {temp} does — the "
+                "writing run was killed mid-checkpoint; the partial temp "
+                "file is not loadable"
+            )
         raise CheckpointError(f"checkpoint {path} does not exist")
+
+    payload, written_version = _read_payload(path)
+    _validate_envelope(payload, path)
+
+    from repro.cpu.system import CmpSystem
+    from repro.experiments.runner import build_design
+
+    design = build_design(payload["design"], bus_model=payload["bus_model"])
+    system = CmpSystem(design)
+    state = payload["state"]
     try:
-        with open(path, "rb") as handle:
-            payload = pickle.load(handle)
-    except (OSError, pickle.UnpicklingError, EOFError) as error:
-        raise CheckpointError(f"checkpoint {path} is unreadable: {error}") from None
-    if not isinstance(payload, dict) or payload.get("magic") != _MAGIC:
-        raise CheckpointError(f"{path} is not a repro checkpoint")
-    version = payload.get("version")
-    if version != FORMAT_VERSION:
+        system.load_state_dict(state)
+    except StateDictError as error:
         raise CheckpointError(
-            f"checkpoint {path} has format version {version}; "
-            f"this build reads version {FORMAT_VERSION}"
-        )
+            f"checkpoint {path} state is invalid at field {error.field}: "
+            f"{error}"
+        ) from None
+    events = state.get("eventq", {}).get("events", [])
+    if events:
+        _restore_pending_events(system, events, f"{path} eventq.events")
     return Checkpoint(
         event_index=payload["event_index"],
-        system=payload["system"],
-        meta=payload.get("meta", {}),
+        system=system,
+        meta=dict(payload.get("meta", {})),
+        version=written_version,
     )

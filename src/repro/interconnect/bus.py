@@ -304,6 +304,39 @@ class SnoopBus:
             )
 
     # ------------------------------------------------------------------
+    # Versioned checkpointing
+
+    def state_dict(self) -> dict:
+        """Snapshot everything but the wiring (snoopers, queue, tracer).
+
+        Sticky fault arms (``fault_next``/``race_pending``) are part of
+        the model state: a checkpoint taken between arming and landing
+        must resume with the race still pending.
+        """
+        return {
+            "latency": self.latency,
+            "occupancy": self.occupancy,
+            "stats": self.stats.state_dict(),
+            "fault_next": self.fault_next,
+            "race_pending": self.race_pending,
+            "last_race": self.last_race,
+            "busy_until": self._busy_until,
+        }
+
+    def load_state_dict(self, state: dict, path: str = "bus") -> None:
+        from repro.common import serialization
+
+        self.latency = int(serialization.require(state, "latency", path))
+        self.occupancy = int(serialization.require(state, "occupancy", path))
+        self.stats.load_state_dict(
+            serialization.require(state, "stats", path), f"{path}.stats"
+        )
+        self.fault_next = state.get("fault_next")
+        self.race_pending = state.get("race_pending")
+        self.last_race = state.get("last_race")
+        self._busy_until = int(serialization.require(state, "busy_until", path))
+
+    # ------------------------------------------------------------------
     # Race fault eligibility
 
     def _holders(self, txn: BusTransaction) -> "list[int]":

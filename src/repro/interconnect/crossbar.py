@@ -73,6 +73,36 @@ class Crossbar:
     def _complete(self, core: int, dgroup: int) -> None:
         self.completed += 1
 
+    def state_dict(self) -> dict:
+        from repro.common import serialization
+
+        return {
+            "dgroup_latencies": tuple(
+                tuple(row) for row in self.dgroup_latencies
+            ),
+            "traffic": serialization.counter_state(
+                self.traffic, lambda key: tuple(key)
+            ),
+            "fault_extra_latency": self.fault_extra_latency,
+            "completed": self.completed,
+        }
+
+    def load_state_dict(self, state: dict, path: str = "crossbar") -> None:
+        from repro.common import serialization
+
+        latencies = serialization.require(state, "dgroup_latencies", path)
+        self.dgroup_latencies = tuple(tuple(row) for row in latencies)
+        serialization.load_counter(
+            self.traffic,
+            serialization.require(state, "traffic", path),
+            f"{path}.traffic",
+            lambda key: (int(key[0]), int(key[1])),
+        )
+        self.fault_extra_latency = int(
+            serialization.require(state, "fault_extra_latency", path)
+        )
+        self.completed = int(serialization.require(state, "completed", path))
+
     def link_traffic(self, core: int, dgroup: int) -> int:
         return self.traffic[(core, dgroup)]
 

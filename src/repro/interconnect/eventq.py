@@ -236,6 +236,74 @@ class EventQueue:
             heapq.heappop(heap)
         return heap[0][0] if heap else None
 
+    # ------------------------------------------------------------------
+    # Versioned checkpointing
+
+    def state_dict(self) -> dict:
+        """Scheduler scalars and RNG state — *not* the pending events.
+
+        Pending events hold bound actions into the component graph; the
+        checkpoint layer encodes them by owner/name (see
+        ``repro.harness.checkpoint``) and replays them through
+        :meth:`restore_event`.
+        """
+        from repro.common import serialization
+
+        return {
+            "seed": self.seed,
+            "tiebreak": self.tiebreak,
+            "now": self.now,
+            "fired": self.fired,
+            "seq": self._seq,
+            "rng": serialization.rng_state(self.rng),
+        }
+
+    def load_state_dict(self, state: dict, path: str = "eventq") -> None:
+        from repro.common import serialization
+        from repro.common.serialization import StateDictError, require
+
+        tiebreak = require(state, "tiebreak", path)
+        if tiebreak not in TIEBREAKS:
+            raise StateDictError(
+                f"{path}.tiebreak", f"unknown policy {tiebreak!r}"
+            )
+        self.seed = int(require(state, "seed", path))
+        self.tiebreak = tiebreak
+        self.now = int(require(state, "now", path))
+        self.fired = int(require(state, "fired", path))
+        self._seq = int(require(state, "seq", path))
+        serialization.load_rng(self.rng, require(state, "rng", path), f"{path}.rng")
+
+    def restore_event(
+        self,
+        time: int,
+        priority: int,
+        seq: int,
+        action: "Callable[..., Any]",
+        args: "Tuple[Any, ...]",
+        label: str,
+        track: "Optional[object]",
+    ) -> ScheduledEvent:
+        """Re-enqueue a checkpointed pending event with its original seq.
+
+        Unlike :meth:`at`, the sequence number is *restored*, not newly
+        allocated, so the heap ordering — ``(time, priority, tiebreak,
+        seq)`` — reproduces the pre-checkpoint schedule exactly.
+        """
+        event = ScheduledEvent(time, priority, seq, action, args, label, track)
+        heapq.heappush(
+            self._heap,
+            (time, priority, self._tiebreak_key(track, time), seq, event),
+        )
+        self.pending += 1
+        return event
+
+    def pending_events(self) -> "List[ScheduledEvent]":
+        """Uncancelled pending events in heap order (for checkpointing)."""
+        return [
+            item[4] for item in sorted(self._heap) if not item[4].cancelled
+        ]
+
 
 def attach_eventq(
     design,

@@ -1,0 +1,100 @@
+"""Golden checkpoint corpus: committed fixtures must keep loading.
+
+``tests/data/checkpoints/`` holds small checkpoints written in both
+format versions (v1 legacy whole-object pickle, v2 state-dict envelope)
+for each recorded design, plus ``expected.json`` with the final
+statistics fingerprint of each fixture's *uninterrupted* run.  These
+tests are the compatibility contract: every committed fixture must load
+under the current build and resume to a bit-identical fingerprint.  A
+failure here means a model or serialization change broke existing
+checkpoints — either fix the regression or consciously regenerate the
+corpus with ``tests/data/checkpoints/generate.py``.
+"""
+
+import gzip
+import itertools
+import json
+import pickle
+from pathlib import Path
+
+import pytest
+
+from repro.harness import load_checkpoint
+from repro.workloads.multithreaded import make_workload
+
+DATA = Path(__file__).resolve().parent / "data" / "checkpoints"
+FIXTURES = sorted(DATA.glob("*.ck"))
+EXPECTED = json.loads((DATA / "expected.json").read_text())
+
+
+def _stem(path: Path) -> str:
+    """``cmp-nurapid-eventq.v2.ck`` -> ``cmp-nurapid-eventq``."""
+    return path.name.rsplit(".", 2)[0]
+
+
+def test_corpus_is_complete():
+    """Both format versions committed for every recorded fingerprint."""
+    assert EXPECTED, "expected.json is empty — regenerate the corpus"
+    stems = {_stem(path) for path in FIXTURES}
+    assert stems == set(EXPECTED)
+    for stem in EXPECTED:
+        versions = {
+            path.name.rsplit(".", 2)[1]
+            for path in FIXTURES
+            if _stem(path) == stem
+        }
+        assert versions == {"v1", "v2"}, f"{stem}: missing a format version"
+
+
+def test_fixture_encodings_match_their_version():
+    """v2 files are gzip envelopes; v1 files are raw pickles."""
+    for path in FIXTURES:
+        head = path.read_bytes()[:2]
+        if ".v2." in path.name:
+            assert head == b"\x1f\x8b", f"{path.name} is not gzip"
+        else:
+            assert head != b"\x1f\x8b", f"{path.name} is unexpectedly gzip"
+            assert head[:1] == b"\x80", f"{path.name} is not a binary pickle"
+
+
+@pytest.mark.parametrize("path", FIXTURES, ids=lambda p: p.name)
+def test_golden_fixture_loads_and_resumes_bit_identically(path):
+    checkpoint = load_checkpoint(path)
+    meta = checkpoint.meta
+    assert checkpoint.version == (2 if ".v2." in path.name else 1)
+    workload = make_workload(meta["workload"], seed=meta["seed"])
+    events = itertools.islice(
+        workload.events(accesses_per_core=meta["accesses"]),
+        meta["total_events"],
+    )
+    system = checkpoint.system
+    for event in itertools.islice(events, checkpoint.event_index, None):
+        system.step(event)
+    assert system.stats().fingerprint() == EXPECTED[_stem(path)]
+
+
+def test_v1_and_v2_fixtures_restore_identical_state():
+    """Both encodings of the same cut must produce the same system."""
+    for stem in EXPECTED:
+        v1 = load_checkpoint(DATA / f"{stem}.v1.ck")
+        v2 = load_checkpoint(DATA / f"{stem}.v2.ck")
+        assert v1.event_index == v2.event_index
+        assert v1.system.state_dict().keys() == v2.system.state_dict().keys()
+        assert (
+            v1.system.stats().fingerprint() == v2.system.stats().fingerprint()
+        )
+
+
+def test_v2_fixture_envelope_fields():
+    """The envelope schema documented in DESIGN.md stays stable."""
+    for path in FIXTURES:
+        if ".v2." not in path.name:
+            continue
+        payload = pickle.loads(gzip.decompress(path.read_bytes()))
+        assert payload["magic"] == "repro-checkpoint"
+        assert payload["version"] == 2
+        assert payload["design"] == payload["meta"]["design"]
+        assert payload["bus_model"] in ("atomic", "eventq")
+        assert isinstance(payload["event_index"], int)
+        assert isinstance(payload["state"], dict)
+        assert {"params", "cores", "l1s", "design"} <= payload["state"].keys()
