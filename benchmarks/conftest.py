@@ -25,13 +25,37 @@ BENCH_CONFIG = ExperimentConfig(
 )
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--jobs",
+        type=int,
+        default=None,
+        help="prewarm the benchmarked sweeps across N worker processes "
+        "(default: the REPRO_JOBS environment variable, else serial); "
+        "results are bit-identical either way",
+    )
+
+
 @pytest.fixture(scope="session")
 def bench_config() -> ExperimentConfig:
     return BENCH_CONFIG
 
 
 @pytest.fixture(scope="session")
-def stats_cache() -> StatsCache:
+def stats_cache(request) -> StatsCache:
     """One cache for the whole benchmark session: figures sharing the
-    same (workload, design) simulations reuse them."""
-    return StatsCache()
+    same (workload, design) simulations reuse them.
+
+    With ``--jobs N`` (or ``REPRO_JOBS``) the suite's cell union is
+    prewarmed through the parallel executor first, so the per-figure
+    benchmarks below mostly measure rendering over cache hits.
+    """
+    from repro.experiments import parallel
+
+    cache = StatsCache()
+    jobs = parallel.resolve_jobs(request.config.getoption("--jobs"))
+    if jobs > 1:
+        parallel.run_cells(
+            parallel.suite_cells(), BENCH_CONFIG, cache, jobs=jobs
+        )
+    return cache

@@ -46,6 +46,35 @@ class L2Design(abc.ABC):
         #: branch per potential event.
         self.tracer = NO_TRACE
 
+    @property
+    def block_size(self) -> int:
+        return self._block_size
+
+    @block_size.setter
+    def block_size(self, value: int) -> None:
+        # The alignment mask is derived here, once per (re)assignment:
+        # block_address() re-validates the power-of-two invariant on
+        # every call, which the per-access path cannot afford, so
+        # ``access`` uses ``address & self._block_mask`` directly.
+        # Checkpoint loaders reassign block_size after restoring a
+        # snapshot's geometry, which keeps the mask in sync.
+        if value <= 0 or value & (value - 1):
+            raise ValueError(f"block_size must be a power of two, got {value}")
+        self._block_size = value
+        self._block_mask = ~(value - 1)
+
+    def __setstate__(self, state: dict) -> None:
+        """Restore a legacy whole-object pickle onto the current layout.
+
+        Format-1 checkpoints written before ``block_size`` became a
+        property carry it as a plain ``__dict__`` key; route it through
+        the setter so the derived mask exists.
+        """
+        block_size = state.pop("block_size", None)
+        self.__dict__.update(state)
+        if block_size is not None:
+            self.block_size = block_size
+
     def reset_stats(self) -> None:
         """Clear access statistics (e.g. after a warm-up phase).
 
@@ -59,7 +88,7 @@ class L2Design(abc.ABC):
 
     def _invalidate_l1(self, core: int, address: int) -> None:
         if self._l1_invalidate is not None:
-            self._l1_invalidate(core, block_address(address, self.block_size))
+            self._l1_invalidate(core, address & self._block_mask)
 
     def _touch(self, address: "Optional[int]" = None, frame: "Optional[object]" = None) -> None:
         """Mark mutated state for incremental invariant checking."""
@@ -83,15 +112,15 @@ class L2Design(abc.ABC):
         """
         self.current_time = now
         if self.dirty_set is not None:
-            self.dirty_set.mark_address(block_address(access.address, self.block_size))
+            self.dirty_set.mark_address(access.address & self._block_mask)
         result = self._access(access)
-        self.stats.record(result.miss_class)
+        self.stats.counts[result.miss_class] += 1
         if self.tracer.enabled:
             self.tracer.emit(
                 ev.ACCESS,
                 cycle=now,
                 core=access.core,
-                address=block_address(access.address, self.block_size),
+                address=access.address & self._block_mask,
                 type=access.type.value,
                 miss_class=result.miss_class.value,
                 latency=result.latency,

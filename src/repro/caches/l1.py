@@ -20,21 +20,25 @@ from repro.caches.base import Entry, SetAssociativeArray
 from repro.coherence.states import CoherenceState
 from repro.common import serialization
 from repro.common.params import L1Params
-from repro.common.types import block_address
+from repro.common.types import block_address, restore_slots_state
+
+_INVALID = CoherenceState.INVALID
 
 
-@dataclass
+@dataclass(slots=True)
 class L1Entry(Entry):
     """L1 block with a store-permission bit."""
 
     writable: bool = False
 
     def invalidate(self) -> None:  # noqa: D102 - see Entry.invalidate
-        super().invalidate()
+        # Explicit base call: @dataclass(slots=True) rebuilds the class,
+        # which breaks zero-argument super()'s __class__ cell.
+        Entry.invalidate(self)
         self.writable = False
 
 
-@dataclass
+@dataclass(slots=True)
 class L1Stats:
     load_hits: int = 0
     load_misses: int = 0
@@ -63,6 +67,9 @@ class L1Stats:
         total = self.accesses
         return self.misses / total if total else 0.0
 
+    def __setstate__(self, state) -> None:
+        restore_slots_state(self, state)
+
 
 class L1Cache:
     """One core's L1 (instruction+data modelled as a unified array)."""
@@ -88,28 +95,44 @@ class L1Cache:
         return self.array.lookup(address, touch=False) is not None
 
     def _entry(self, address: int, touch: bool = True) -> "L1Entry | None":
-        entry = self.array.lookup(address, touch=touch)
-        return entry  # type: ignore[return-value]
+        entries = self._sets[(address >> self._offset_bits) & self._index_mask]
+        tag = address >> self._tag_shift
+        for entry in entries:
+            if entry.tag == tag and entry.state is not _INVALID:
+                if touch:
+                    array = self.array
+                    array._clock += 1
+                    entry.lru = array._clock
+                return entry  # type: ignore[return-value]
+        return None
 
     def _fast_lookup(self, address: int) -> "L1Entry | None":
         entries = self._sets[(address >> self._offset_bits) & self._index_mask]
         tag = address >> self._tag_shift
         for entry in entries:
-            if entry.tag == tag and entry.state is not CoherenceState.INVALID:
+            if entry.tag == tag and entry.state is not _INVALID:
                 array = self.array
                 array._clock += 1
                 entry.lru = array._clock
                 return entry  # type: ignore[return-value]
         return None
 
+    # load/store inline the _fast_lookup body: they run once per
+    # workload event, and the extra call frame is measurable there.
+
     def load(self, address: int) -> bool:
         """Load reference; True on an L1 hit (no L2 access needed)."""
-        entry = self._fast_lookup(address)
-        if entry is None:
-            self.stats.load_misses += 1
-            return False
-        self.stats.load_hits += 1
-        return True
+        entries = self._sets[(address >> self._offset_bits) & self._index_mask]
+        tag = address >> self._tag_shift
+        for entry in entries:
+            if entry.tag == tag and entry.state is not _INVALID:
+                array = self.array
+                array._clock += 1
+                entry.lru = array._clock
+                self.stats.load_hits += 1
+                return True
+        self.stats.load_misses += 1
+        return False
 
     def store(self, address: int) -> bool:
         """Store reference; True when it completes locally.
@@ -117,16 +140,21 @@ class L1Cache:
         Returns False when the L2 must see the store: the block is
         missing, or present without write permission.
         """
-        entry = self._fast_lookup(address)
-        if entry is None:
-            self.stats.store_misses += 1
-            return False
-        if not entry.writable:
-            self.stats.store_upgrades += 1
-            return False
-        self.stats.store_hits += 1
-        entry.dirty = True
-        return True
+        entries = self._sets[(address >> self._offset_bits) & self._index_mask]
+        tag = address >> self._tag_shift
+        for entry in entries:
+            if entry.tag == tag and entry.state is not _INVALID:
+                array = self.array
+                array._clock += 1
+                entry.lru = array._clock
+                if not entry.writable:
+                    self.stats.store_upgrades += 1
+                    return False
+                self.stats.store_hits += 1
+                entry.dirty = True
+                return True
+        self.stats.store_misses += 1
+        return False
 
     def fill(self, address: int, writable: bool = False, dirty: bool = False) -> None:
         """Install ``address``'s block after an L2 supply."""

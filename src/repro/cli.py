@@ -464,12 +464,28 @@ def cmd_compare(args) -> int:
 
 
 def cmd_experiment(args) -> int:
+    from repro.experiments import parallel
+
     config = ExperimentConfig.quick() if args.quick else ExperimentConfig()
     name = args.name
+    try:
+        jobs = parallel.resolve_jobs(args.jobs)
+    except ValueError as error:
+        raise CliError(str(error)) from None
     cache = StatsCache(path=args.cache) if args.cache else None
     if name == "all":
-        print(suite.run_suite(config, cache_path=args.cache).render())
+        print(suite.run_suite(config, cache_path=args.cache, jobs=jobs).render())
         return 0
+    if jobs > 1:
+        cells = parallel.experiment_cells(name)
+        if cells:
+            # Prewarm this experiment's grid in one pool; the run_fn
+            # below then reads every cell out of the shared cache.
+            if cache is None:
+                cache = StatsCache()
+            report = parallel.run_cells(cells, config, cache, jobs=jobs)
+            if report.retried:
+                print(f"parallel: {report.summary()}", file=sys.stderr)
     if name == "energy":
         print(energy_report.run(config).report.render())
         return 0
@@ -503,6 +519,53 @@ def cmd_experiment(args) -> int:
     )
     print(f"unknown experiment {name!r}; choose from: {', '.join(known)}", file=sys.stderr)
     return 2
+
+
+def cmd_bench(args) -> int:
+    import json
+
+    from repro.experiments import bench
+
+    if args.threshold < 0 or args.threshold >= 1:
+        raise CliError(
+            f"--fail-threshold must be in [0, 1), got {args.threshold}"
+        )
+    result = bench.run_bench(
+        designs=args.designs,
+        workload=args.workload or "oltp",
+        jobs=args.jobs,
+        quick=args.quick,
+        with_sweep=not args.no_sweep,
+    )
+    print(bench.render(result))
+    out = args.out or bench.default_output_path()
+    bench.write_result(result, out)
+    print(f"wrote {out}")
+    if result.sweep is not None and not result.sweep["identical"]:
+        print(
+            "error: parallel sweep results diverged from serial: "
+            + ", ".join(result.sweep["mismatches"]),
+            file=sys.stderr,
+        )
+        return bench.REGRESSION_EXIT
+    if args.baseline:
+        try:
+            with open(args.baseline, "r", encoding="utf-8") as handle:
+                baseline = json.load(handle)
+        except (OSError, ValueError) as error:
+            raise CliError(f"unreadable baseline {args.baseline}: {error}")
+        problems = bench.compare_to_baseline(
+            result.throughput, baseline, args.threshold
+        )
+        if problems:
+            for problem in problems:
+                print(f"perf regression: {problem}", file=sys.stderr)
+            return bench.REGRESSION_EXIT
+        print(
+            f"baseline {args.baseline}: no design regressed more than "
+            f"{args.threshold:.0%}"
+        )
+    return 0
 
 
 def cmd_latency(args) -> int:
@@ -752,7 +815,72 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist per-(workload, design) stats to PATH so an "
         "interrupted sweep resumes instead of re-simulating",
     )
+    experiment_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan uncached (workload, design) cells across N worker "
+        "processes (default: the REPRO_JOBS environment variable, "
+        "else 1); results are bit-identical to a serial run",
+    )
     experiment_parser.set_defaults(func=cmd_experiment)
+
+    bench_parser = sub.add_parser(
+        "bench",
+        help="measure simulated accesses/sec and sweep speedup; "
+        "optionally gate against a committed baseline",
+    )
+    bench_parser.add_argument(
+        "--designs",
+        nargs="+",
+        choices=sorted(DESIGN_FACTORIES),
+        default=["uniform-shared", "private", "cmp-nurapid"],
+    )
+    bench_parser.add_argument(
+        "--workload",
+        choices=_WORKLOAD_NAMES,
+        help="workload to time (default: oltp)",
+    )
+    bench_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="workers for the sweep-speedup measurement "
+        "(default: REPRO_JOBS, else 2)",
+    )
+    bench_parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shorter runs sized for CI smoke jobs",
+    )
+    bench_parser.add_argument(
+        "--no-sweep",
+        action="store_true",
+        help="skip the serial-vs-parallel sweep timing",
+    )
+    bench_parser.add_argument(
+        "--out",
+        metavar="PATH",
+        help="result JSON path (default: BENCH_<date>.json)",
+    )
+    bench_parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="committed BENCH json to gate against; a design more than "
+        "--fail-threshold slower fails with exit 5",
+    )
+    bench_parser.add_argument(
+        "--fail-threshold",
+        dest="threshold",
+        type=float,
+        default=0.2,
+        metavar="FRACTION",
+        help="allowed fractional throughput drop vs the baseline "
+        "(default: 0.2)",
+    )
+    bench_parser.set_defaults(func=cmd_bench)
 
     latency_parser = sub.add_parser("latency", help="print Table 1 latencies")
     latency_parser.set_defaults(func=cmd_latency)

@@ -988,8 +988,8 @@ class NurapidCache(L2Design):
     # Entry point and invariants
 
     def _access(self, access: Access) -> AccessResult:
-        address = block_address(access.address, self.block_size)
-        entry = self.tags[access.core].lookup(address)
+        address = access.address & self._block_mask
+        entry = self.tags[access.core].array.lookup(address)
         if entry is not None:
             return self._hit(access, address, entry)
         return self._miss(access, address)

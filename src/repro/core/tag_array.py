@@ -23,7 +23,7 @@ from repro.common.params import CacheGeometry
 from repro.core.pointers import FramePtr, TagPtr
 
 
-@dataclass
+@dataclass(slots=True)
 class NurapidTagEntry(Entry):
     """Tag entry carrying a forward pointer into the shared data array."""
 
@@ -36,7 +36,9 @@ class NurapidTagEntry(Entry):
     remote_reads: int = 0
 
     def invalidate(self) -> None:  # noqa: D102 - see Entry.invalidate
-        super().invalidate()
+        # Explicit base call: @dataclass(slots=True) rebuilds the class,
+        # which breaks zero-argument super()'s __class__ cell.
+        Entry.invalidate(self)
         self.fwd = None
         self.busy = False
         self.remote_reads = 0

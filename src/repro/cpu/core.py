@@ -19,8 +19,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.common.types import restore_slots_state
 
-@dataclass
+
+@dataclass(slots=True)
 class InOrderCore:
     """Cycle accounting for one core.
 
@@ -81,3 +83,6 @@ class InOrderCore:
         from repro.common import serialization
 
         serialization.load_scalar_fields(self, state, path)
+
+    def __setstate__(self, state) -> None:
+        restore_slots_state(self, state)

@@ -82,6 +82,13 @@ class CmpSystem:
             for i in range(self.params.num_cores)
         ]
         design.set_l1_invalidate_hook(self._on_l2_invalidate)
+        # Peer-core index tuples, precomputed: the access path visits
+        # "every core but the issuer" on each L2-reaching reference, and
+        # building a generator there costs an allocation per access.
+        self._peers = tuple(
+            tuple(c for c in range(self.params.num_cores) if c != i)
+            for i in range(self.params.num_cores)
+        )
         self.tracer = NO_TRACE
         self.attach_tracer(tracer if tracer is not None else NO_TRACE)
         self.metrics: "Optional[MetricsCollector]" = None
@@ -109,31 +116,44 @@ class CmpSystem:
 
     def access(self, access: Access) -> int:
         """Run one memory reference; returns its stall cycles (0 on L1 hit)."""
-        core = access.core
-        l1 = self.l1s[core]
-
-        if access.is_write:
+        l1 = self.l1s[access.core]
+        if access.type is AccessType.WRITE:
             if l1.store(access.address):
                 return 0
-            result = self.design.access(access, now=self.cores[core].cycles)
-            if self.metrics is not None:
-                self.metrics.observe_l2(result)
-            l1.fill(access.address, writable=not result.write_through, dirty=True)
-            for other in self._others(core):
-                self.l1s[other].invalidate(access.address)
-            # Stores retire through a store buffer by default: the
-            # hierarchy has processed the write (coherence, traffic,
-            # statistics) but the in-order core does not stall on it.
-            return result.latency if self.params.blocking_stores else 0
-
+            return self._store_miss(access)
         if l1.load(access.address):
             return 0
+        return self._load_miss(access)
+
+    # The L1-missing halves of ``access`` are separate methods so the
+    # specialized run loop can probe the L1 directly and only pay a
+    # call into the L2 path on a miss.
+
+    def _store_miss(self, access: Access) -> int:
+        core = access.core
+        l1s = self.l1s
+        address = access.address
         result = self.design.access(access, now=self.cores[core].cycles)
         if self.metrics is not None:
             self.metrics.observe_l2(result)
-        l1.fill(access.address, writable=False)
-        for other in self._others(core):
-            self.l1s[other].revoke_writable(access.address)
+        l1s[core].fill(address, writable=not result.write_through, dirty=True)
+        for other in self._peers[core]:
+            l1s[other].invalidate(address)
+        # Stores retire through a store buffer by default: the
+        # hierarchy has processed the write (coherence, traffic,
+        # statistics) but the in-order core does not stall on it.
+        return result.latency if self.params.blocking_stores else 0
+
+    def _load_miss(self, access: Access) -> int:
+        core = access.core
+        l1s = self.l1s
+        address = access.address
+        result = self.design.access(access, now=self.cores[core].cycles)
+        if self.metrics is not None:
+            self.metrics.observe_l2(result)
+        l1s[core].fill(address, writable=False)
+        for other in self._peers[core]:
+            l1s[other].revoke_writable(address)
         return result.latency
 
     def reset_stats(self) -> None:
@@ -203,9 +223,53 @@ class CmpSystem:
     def run(self, events: "Iterable[TimedAccess]") -> None:
         """Execute a stream of timed accesses.
 
-        Inlines :meth:`step` — this loop is the simulator's hot path.
-        With tracing disabled and no metrics bound, the additions are
-        one branch each per event.
+        Dispatches on the observability configuration once, not per
+        event: a plain run (no tracer, no metrics, atomic interconnect)
+        takes a specialized loop with *zero* instrumentation guards and
+        the core's cycle accounting inlined, which is where the
+        simulator spends its life.  Any attached instrument falls back
+        to the general loop, whose behavior is bit-identical.
+        """
+        if (
+            self.tracer.enabled
+            or self.metrics is not None
+            or getattr(self.design, "queue", None) is not None
+        ):
+            return self._run_instrumented(events)
+        # Specialized hot loop.  The per-event accounting mirrors
+        # InOrderCore.execute_gap/execute_colocated/execute_memory in
+        # that order (the L2 reads core.cycles as its virtual clock, so
+        # gap and colocated cycles must land *before* the access);
+        # test_system pins the equivalence against the method-call path.
+        cores = self.cores
+        l1s = self.l1s
+        store_miss = self._store_miss
+        load_miss = self._load_miss
+        write = AccessType.WRITE
+        for event in events:
+            acc = event.access
+            core_id = acc.core
+            core = cores[core_id]
+            latency = core.l1_latency
+            gap = event.gap
+            colocated = event.colocated
+            if gap or colocated:
+                core.instructions += gap + colocated
+                core.cycles += gap + colocated * latency
+            if acc.type is write:
+                stall = 0 if l1s[core_id].store(acc.address) else store_miss(acc)
+            elif l1s[core_id].load(acc.address):
+                stall = 0
+            else:
+                stall = load_miss(acc)
+            core.instructions += 1
+            core.cycles += latency + stall
+
+    def _run_instrumented(self, events: "Iterable[TimedAccess]") -> None:
+        """The general event loop: tracing, metrics, event-queue drains.
+
+        Inlines :meth:`step`; with tracing disabled and no metrics
+        bound the additions are one branch each per event.
         """
         tracer = self.tracer
         traced = tracer.enabled

@@ -1,0 +1,226 @@
+"""Throughput benchmark and perf-regression gate (``repro bench``).
+
+Two layers, matching where the simulator spends its life:
+
+* **Hot path** — simulated accesses/second for each design on one
+  workload, best-of-N so scheduler noise shrinks the number instead of
+  inflating it.
+* **Sweep executor** — wall-clock for a small experiment grid run
+  serially and with a worker pool, reporting the speedup.
+
+Results are written as ``BENCH_<date>.json``.  With ``--baseline``,
+each design's throughput is compared against the committed baseline
+and the run **fails (exit 5)** if any design regresses by more than
+the threshold — CI's perf-smoke gate.  The gate is one-sided: faster
+is always fine.
+
+Baselines are machine-relative; the committed one reflects the CI
+runner class.  Regenerate it (``repro bench --out benchmarks/
+baseline.json``) when hardware or a deliberate perf trade-off shifts
+the floor.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments import parallel
+from repro.experiments.runner import (
+    ExperimentConfig,
+    StatsCache,
+    build_design,
+    run_multithreaded,
+)
+
+#: Designs timed by default: the paper's baseline, the replication
+#: pathology case, and the full CMP-NuRAPID machinery (the slowest).
+DEFAULT_DESIGNS = ("uniform-shared", "private", "cmp-nurapid")
+
+DEFAULT_WORKLOAD = "oltp"
+
+#: Exit code for a throughput regression beyond the threshold.
+REGRESSION_EXIT = 5
+
+
+@dataclass
+class BenchResult:
+    """One ``repro bench`` invocation's measurements."""
+
+    workload: str
+    accesses_per_core: int
+    repeats: int
+    #: design -> best simulated accesses/second.
+    throughput: "Dict[str, float]" = field(default_factory=dict)
+    #: Optional sweep-executor timing (absent with ``--no-sweep``).
+    sweep: "Optional[dict]" = None
+
+    def to_dict(self) -> dict:
+        payload = {
+            "schema": "repro-bench-v1",
+            "workload": self.workload,
+            "accesses_per_core": self.accesses_per_core,
+            "repeats": self.repeats,
+            "throughput_accesses_per_sec": {
+                name: round(value, 1)
+                for name, value in self.throughput.items()
+            },
+        }
+        if self.sweep is not None:
+            payload["sweep"] = self.sweep
+        return payload
+
+
+def measure_throughput(
+    designs: "Sequence[str]" = DEFAULT_DESIGNS,
+    workload: str = DEFAULT_WORKLOAD,
+    accesses_per_core: int = 40_000,
+    repeats: int = 3,
+) -> "Dict[str, float]":
+    """Best-of-``repeats`` simulated accesses/second per design.
+
+    Measures the full path — workload generation, L1s, the design —
+    with no warm-up split (the measurement *is* the wall clock, not the
+    statistics), so one run is one timed construction + simulation.
+    """
+    config = ExperimentConfig(warmup_per_core=0,
+                              measure_per_core=accesses_per_core)
+    out: "Dict[str, float]" = {}
+    for name in designs:
+        best = 0.0
+        for _ in range(repeats):
+            design = build_design(name)
+            start = time.perf_counter()
+            system, _ = run_multithreaded(design, workload, config)
+            elapsed = time.perf_counter() - start
+            total = accesses_per_core * len(system.cores)
+            best = max(best, total / elapsed)
+        out[name] = best
+    return out
+
+
+def measure_sweep(jobs: int, quick: bool = False) -> dict:
+    """Wall-clock a small sweep serially, then with ``jobs`` workers.
+
+    Uses fresh in-memory caches on both sides (nothing is reused
+    between the two runs), and checks the two result sets are
+    bit-identical while it is at it.
+    """
+    cells = parallel.experiment_cells("fig6")  # 4 designs x 9 workloads
+    if quick:
+        cells = [cell for cell in cells if cell.workload in
+                 ("oltp", "apache", "ocean")]
+    config = ExperimentConfig(warmup_per_core=20_000, measure_per_core=20_000)
+
+    serial_cache = StatsCache()
+    start = time.perf_counter()
+    parallel.run_cells(cells, config, serial_cache, jobs=1)
+    serial_seconds = time.perf_counter() - start
+
+    pool_cache = StatsCache()
+    start = time.perf_counter()
+    report = parallel.run_cells(cells, config, pool_cache, jobs=jobs)
+    parallel_seconds = time.perf_counter() - start
+
+    mismatches = [
+        cell.label for cell in cells
+        if serial_cache._cache[cell.key(config)].fingerprint()
+        != pool_cache._cache[cell.key(config)].fingerprint()
+    ]
+    return {
+        "cells": len(cells),
+        "jobs": jobs,
+        "serial_seconds": round(serial_seconds, 3),
+        "parallel_seconds": round(parallel_seconds, 3),
+        "speedup": round(serial_seconds / parallel_seconds, 2)
+        if parallel_seconds else 0.0,
+        "identical": not mismatches,
+        "mismatches": mismatches,
+        "retried": [cell.label for cell in report.retried],
+    }
+
+
+def compare_to_baseline(
+    throughput: "Dict[str, float]",
+    baseline: dict,
+    threshold: float,
+) -> "List[str]":
+    """Regression lines for designs slower than baseline by > threshold.
+
+    Designs absent from the baseline are skipped (new designs cannot
+    fail a gate recorded before they existed).
+    """
+    recorded = baseline.get("throughput_accesses_per_sec", {})
+    problems: "List[str]" = []
+    for name, value in throughput.items():
+        floor = recorded.get(name)
+        if not floor:
+            continue
+        drop = 1.0 - value / floor
+        if drop > threshold:
+            problems.append(
+                f"{name}: {value:,.0f} accesses/s is {drop:.1%} below "
+                f"baseline {floor:,.0f} (threshold {threshold:.0%})"
+            )
+    return problems
+
+
+def run_bench(
+    designs: "Sequence[str]" = DEFAULT_DESIGNS,
+    workload: str = DEFAULT_WORKLOAD,
+    accesses_per_core: int = 40_000,
+    repeats: int = 3,
+    jobs: "Optional[int]" = None,
+    quick: bool = False,
+    with_sweep: bool = True,
+) -> BenchResult:
+    """Run the full benchmark; see :func:`measure_throughput`."""
+    if quick:
+        accesses_per_core = min(accesses_per_core, 20_000)
+        repeats = min(repeats, 2)
+    result = BenchResult(
+        workload=workload,
+        accesses_per_core=accesses_per_core,
+        repeats=repeats,
+        throughput=measure_throughput(
+            designs, workload, accesses_per_core, repeats
+        ),
+    )
+    if with_sweep:
+        result.sweep = measure_sweep(
+            jobs=max(parallel.resolve_jobs(jobs), 2), quick=quick
+        )
+    return result
+
+
+def default_output_path(today: "Optional[str]" = None) -> str:
+    if today is None:
+        today = time.strftime("%Y%m%d")
+    return f"BENCH_{today}.json"
+
+
+def render(result: BenchResult) -> str:
+    lines = [
+        f"workload: {result.workload} "
+        f"({result.accesses_per_core} accesses/core, "
+        f"best of {result.repeats})"
+    ]
+    for name, value in result.throughput.items():
+        lines.append(f"  {name:<20} {value:>12,.0f} accesses/s")
+    sweep = result.sweep
+    if sweep is not None:
+        lines.append(
+            f"sweep: {sweep['cells']} cells, serial {sweep['serial_seconds']}s "
+            f"-> {sweep['jobs']} jobs {sweep['parallel_seconds']}s "
+            f"({sweep['speedup']}x, "
+            f"{'bit-identical' if sweep['identical'] else 'MISMATCH'})"
+        )
+    return "\n".join(lines)
+
+
+def write_result(result: BenchResult, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(result.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")

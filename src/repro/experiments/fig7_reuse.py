@@ -30,6 +30,8 @@ PAPER_RWS_2_5 = 0.69
 PAPER_RWS_OVER_5 = 0.08
 
 WORKLOADS = tuple(spec.name for spec in MULTITHREADED)
+#: Reuse histograms are a property of the private design alone.
+DESIGNS = ("private",)
 
 
 @dataclass
@@ -45,7 +47,7 @@ def run(
     cache: "Optional[StatsCache]" = None,
 ) -> Fig7Result:
     config = config or ExperimentConfig()
-    result = sweep(WORKLOADS, ("private",), config, cache=cache)
+    result = sweep(WORKLOADS, DESIGNS, config, cache=cache)
 
     ros: "Dict[str, Dict[str, float]]" = {}
     rws: "Dict[str, Dict[str, float]]" = {}

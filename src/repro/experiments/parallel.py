@@ -1,0 +1,287 @@
+"""Parallel sweep executor: fan (workload, design) cells over processes.
+
+A sweep is a grid of independent *cells* — one (workload, design,
+multiprogrammed) simulation each.  This module runs the uncached cells
+of a sweep (or of the whole experiment suite) across a
+:class:`~concurrent.futures.ProcessPoolExecutor` and merges the results
+into the sweep's shared :class:`~repro.experiments.runner.StatsCache`.
+
+**Determinism.**  Parallel results are bit-identical to the serial
+path.  Every random draw in a cell flows through a named substream
+keyed on ``(config.seed, crc32(name))`` (:func:`repro.common.rng.
+stream`), where the names embed the cell's own workload/mix and core —
+``"workload.oltp.core2"``, ``"hot.oltp.ro"`` — so a cell's sequence is
+a pure function of the config and the cell identity.  Nothing depends
+on scheduling order, pool size, or which other cells run; the
+differential tests pin serial and ``--jobs 4`` fingerprints against
+each other for every design and both bus models.
+
+**Persistence.**  With a journal-backed cache, each worker also appends
+its finished runs to a private per-PID *shard* journal
+(``<cache>.shard.<pid>``) using the same flock-guarded record format.
+The parent merges and deletes shards when the pool completes (and on
+the next run, for shards orphaned by a killed parent), so a sweep
+killed mid-flight never loses completed cells.
+
+**Crash containment.**  A worker that dies (OOM kill, segfault in a
+native extension, ``os._exit``) breaks the pool; every cell whose
+result was lost is re-run serially in the parent and reported in the
+:class:`ParallelReport` — degraded, never dropped.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.common.stats import SimulationStats
+from repro.experiments.runner import (
+    ExperimentConfig,
+    StatsCache,
+    build_design,
+    resolve_bus_model,
+    run_mix,
+    run_multithreaded,
+)
+
+#: Environment knob for the default worker count (``--jobs`` overrides).
+JOBS_ENV = "REPRO_JOBS"
+
+#: Test hook: a worker whose cell label equals this variable's value
+#: exits hard (as a segfault or OOM kill would), exercising the
+#: crash-and-retry path without a real crash.
+CRASH_ENV = "REPRO_PARALLEL_CRASH"
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One sweep cell: a single (workload, design) simulation."""
+
+    workload: str
+    design: str
+    multiprogrammed: bool = False
+
+    @property
+    def label(self) -> str:
+        return f"{self.workload}/{self.design}"
+
+    def key(self, config: ExperimentConfig) -> tuple:
+        """The cell's :class:`StatsCache` key under ``config``."""
+        return (self.workload, self.design, config, self.multiprogrammed)
+
+
+def resolve_jobs(jobs: "Optional[int]" = None) -> int:
+    """Worker count: explicit argument, ``REPRO_JOBS``, or 1 (serial)."""
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{JOBS_ENV} must be an integer, got {raw!r}"
+            ) from None
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+@dataclass
+class ParallelReport:
+    """What :func:`run_cells` did, cell by cell."""
+
+    jobs: int
+    #: Cells simulated in pool workers this invocation.
+    ran: "List[Cell]" = field(default_factory=list)
+    #: Cells already present in the cache (not re-simulated).
+    cached: "List[Cell]" = field(default_factory=list)
+    #: Cells whose worker died; re-run serially in the parent.
+    retried: "List[Cell]" = field(default_factory=list)
+
+    def summary(self) -> str:
+        text = (
+            f"{len(self.ran)} cell(s) in {self.jobs} worker(s), "
+            f"{len(self.cached)} cached"
+        )
+        if self.retried:
+            labels = ", ".join(cell.label for cell in self.retried)
+            text += f"; {len(self.retried)} retried serially after a worker crash: {labels}"
+        return text
+
+
+def _simulate_cell(
+    cell: Cell,
+    config: ExperimentConfig,
+    bus_model: str,
+    shard_base: "Optional[str]",
+) -> "Tuple[Cell, SimulationStats]":
+    """Pool worker: run one cell from scratch; optionally journal it.
+
+    Module-level (picklable) and self-contained: the parent resolves
+    the bus model before submitting, so a worker's result cannot depend
+    on environment differences between fork and spawn start methods.
+    """
+    if os.environ.get(CRASH_ENV) == cell.label:
+        os._exit(17)
+    design = build_design(cell.design, bus_model=bus_model)
+    run = run_mix if cell.multiprogrammed else run_multithreaded
+    _, stats = run(design, cell.workload, config)
+    if shard_base is not None:
+        StatsCache.append_record(
+            f"{shard_base}.shard.{os.getpid()}", cell.key(config), stats
+        )
+    return cell, stats
+
+
+def merge_shards(cache: StatsCache) -> int:
+    """Fold worker shard journals into ``cache`` and delete them.
+
+    Returns the number of records adopted.  Also rescues shards left
+    behind by a parent killed before its merge.
+    """
+    if cache.path is None:
+        return 0
+    adopted = 0
+    for shard in sorted(glob.glob(f"{cache.path}.shard.*")):
+        records, _ = StatsCache._load(shard)
+        for key, stats in records.items():
+            if cache.insert(key, stats):
+                adopted += 1
+        try:
+            os.remove(shard)
+        except OSError:
+            pass
+    return adopted
+
+
+def _dedup(cells: "Iterable[Cell]") -> "List[Cell]":
+    seen = set()
+    out = []
+    for cell in cells:
+        if cell not in seen:
+            seen.add(cell)
+            out.append(cell)
+    return out
+
+
+def _run_serially(cell: Cell, config: ExperimentConfig,
+                  cache: StatsCache, bus_model: str) -> None:
+    cache.get(
+        cell.workload,
+        cell.design,
+        lambda: build_design(cell.design, bus_model=bus_model),
+        config,
+        cell.multiprogrammed,
+    )
+
+
+def run_cells(
+    cells: "Sequence[Cell]",
+    config: ExperimentConfig,
+    cache: StatsCache,
+    jobs: "Optional[int]" = None,
+    bus_model: "Optional[str]" = None,
+) -> ParallelReport:
+    """Ensure every cell's stats are in ``cache``, using ``jobs`` workers.
+
+    The cache is the rendezvous: callers (``sweep``, the figure
+    modules) read their results back out of it afterwards, exactly as
+    they do on the serial path.
+    """
+    jobs = resolve_jobs(jobs)
+    bus_model = resolve_bus_model(bus_model)
+    merge_shards(cache)  # adopt orphans from a previously killed run
+    report = ParallelReport(jobs=jobs)
+    pending: "List[Cell]" = []
+    for cell in _dedup(cells):
+        if cell.key(config) in cache:
+            report.cached.append(cell)
+        else:
+            pending.append(cell)
+    if not pending:
+        return report
+    if jobs == 1:
+        for cell in pending:
+            _run_serially(cell, config, cache, bus_model)
+            report.ran.append(cell)
+        return report
+
+    failed: "List[Cell]" = []
+    with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+        futures = {
+            pool.submit(_simulate_cell, cell, config, bus_model, cache.path): cell
+            for cell in pending
+        }
+        for future in as_completed(futures):
+            cell = futures[future]
+            try:
+                _, stats = future.result()
+            except Exception:
+                # A dead worker breaks the pool: its own cell *and*
+                # every not-yet-finished cell surface here.  Collect
+                # them all; they are re-run serially below.
+                failed.append(cell)
+                continue
+            cache.insert(cell.key(config), stats)
+            report.ran.append(cell)
+    merge_shards(cache)
+    for cell in failed:
+        # The crashed worker may still have journaled the cell into
+        # its shard before dying; the merge above then satisfied it.
+        if cell.key(config) not in cache:
+            _run_serially(cell, config, cache, bus_model)
+        report.retried.append(cell)
+    return report
+
+
+# -- suite cell registry ---------------------------------------------
+#
+# The figure modules declare their grids as WORKLOADS x DESIGNS
+# constants; this registry enumerates them so one pool can prewarm the
+# union of an entire suite before any report renders.
+
+
+def experiment_cells(name: str) -> "List[Cell]":
+    """The sweep cells experiment ``name`` will request, in order."""
+    from repro.experiments import (
+        fig5_access_distribution,
+        fig6_opportunity,
+        fig7_reuse,
+        fig8_tag_distribution,
+        fig9_data_distribution,
+        fig10_performance,
+        fig11_mp_distribution,
+        fig12_mp_performance,
+    )
+
+    grids: "Dict[str, tuple]" = {
+        "fig5": (fig5_access_distribution, False),
+        "fig6": (fig6_opportunity, False),
+        "fig7": (fig7_reuse, False),
+        "fig8": (fig8_tag_distribution, False),
+        "fig9": (fig9_data_distribution, False),
+        "fig10": (fig10_performance, False),
+        "fig11": (fig11_mp_distribution, True),
+        "fig12": (fig12_mp_performance, True),
+    }
+    if name not in grids:
+        return []
+    module, multiprogrammed = grids[name]
+    return [
+        Cell(workload, design, multiprogrammed)
+        for workload in module.WORKLOADS
+        for design in module.DESIGNS
+    ]
+
+
+def suite_cells() -> "List[Cell]":
+    """Union of every suite experiment's cells, first-use order."""
+    cells: "List[Cell]" = []
+    for name in ("fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+                 "fig11", "fig12"):
+        cells.extend(experiment_cells(name))
+    return _dedup(cells)

@@ -10,6 +10,7 @@ enumerate exactly the bars each figure shows.
 from __future__ import annotations
 
 import itertools
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, Optional, Sequence
 
@@ -64,8 +65,6 @@ BUS_MODELS = ("atomic", "eventq")
 
 def resolve_bus_model(bus_model: "Optional[str]" = None) -> str:
     """Pick the interconnect backend: explicit arg, env, or atomic."""
-    import os
-
     if bus_model is None:
         bus_model = os.environ.get("REPRO_BUS_MODEL") or "atomic"
     if bus_model not in BUS_MODELS:
@@ -207,10 +206,27 @@ def sweep(
     config: "ExperimentConfig | None" = None,
     multiprogrammed: bool = False,
     cache: "Optional[StatsCache]" = None,
+    jobs: "Optional[int]" = None,
 ) -> SweepResult:
-    """Run every design on every workload; the core of each figure."""
+    """Run every design on every workload; the core of each figure.
+
+    ``jobs`` > 1 fans the uncached cells across a process pool first
+    (bit-identical to the serial path — every cell's randomness is
+    keyed on the config seed and the cell's own names, never on
+    execution order).  None defers to the ``REPRO_JOBS`` environment
+    variable, so figure modules parallelize without signature changes.
+    """
     config = config or ExperimentConfig()
     cache = cache if cache is not None else StatsCache()
+    from repro.experiments import parallel
+
+    if parallel.resolve_jobs(jobs) > 1:
+        cells = [
+            parallel.Cell(workload, design, multiprogrammed)
+            for workload in workload_names
+            for design in design_names
+        ]
+        parallel.run_cells(cells, config, cache, jobs=jobs)
     result = SweepResult()
     for workload in workload_names:
         result.stats[workload] = {}
@@ -303,14 +319,37 @@ class StatsCache:
             return {}, False
         return cache, dirty
 
+    @staticmethod
+    def append_record(path: str, key: tuple, stats: SimulationStats) -> None:
+        """Append one journal record to ``path`` under an advisory lock.
+
+        ``flock`` keeps concurrent appenders (the parallel executor's
+        workers, or two suites pointed at one cache file) from
+        interleaving records mid-pickle; on platforms without ``fcntl``
+        the O_APPEND write is the only guarantee, which per-PID shard
+        files make sufficient.
+        """
+        import pickle
+
+        try:
+            import fcntl
+        except ImportError:  # pragma: no cover - non-POSIX
+            fcntl = None
+        with open(path, "ab") as handle:
+            if fcntl is not None:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                pickle.dump(("run", key, stats), handle,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+                handle.flush()
+            finally:
+                if fcntl is not None:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
     def _append(self, key: tuple, stats: SimulationStats) -> None:
         if self.path is None:
             return
-        import pickle
-
-        with open(self.path, "ab") as handle:
-            pickle.dump(("run", key, stats), handle,
-                        protocol=pickle.HIGHEST_PROTOCOL)
+        self.append_record(self.path, key, stats)
 
     def _compact(self) -> None:
         """Atomically rewrite the journal with exactly one record per key."""
@@ -328,6 +367,24 @@ class StatsCache:
 
     def __len__(self) -> int:
         return len(self._cache)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._cache
+
+    def insert(self, key: tuple, stats: SimulationStats) -> bool:
+        """Record an externally computed run (the parallel merge path).
+
+        Returns False (and keeps the existing record) if ``key`` is
+        already cached.  Duplicate inserts can only carry identical
+        stats — every path to a cell's result is deterministic — so
+        which record wins is immaterial; skipping keeps the journal
+        free of redundant appends.
+        """
+        if key in self._cache:
+            return False
+        self._cache[key] = stats
+        self._append(key, stats)
+        return True
 
     def get(
         self,

@@ -50,15 +50,24 @@ class SuiteResult:
 def run_suite(
     config: "Optional[ExperimentConfig]" = None,
     cache_path: "Optional[str]" = None,
+    jobs: "Optional[int]" = None,
 ) -> SuiteResult:
     """Run all experiments, sharing simulations through one cache.
 
     With ``cache_path`` the cache persists to disk after every completed
     (workload, design) run, so a killed suite resumes instead of
     re-simulating (see :class:`~repro.experiments.runner.StatsCache`).
+
+    ``jobs`` > 1 (or ``REPRO_JOBS``) prewarms the union of every
+    experiment's cells through one process pool before any report
+    renders; results are bit-identical to a serial suite.
     """
+    from repro.experiments import parallel
+
     config = config or ExperimentConfig()
     cache = StatsCache(path=cache_path)
+    if parallel.resolve_jobs(jobs) > 1:
+        parallel.run_cells(parallel.suite_cells(), config, cache, jobs=jobs)
     sections: "dict[str, str]" = {}
     for name, (run_fn, render_full) in EXPERIMENTS.items():
         if name == "table1":

@@ -51,6 +51,9 @@ _PRIVATE_BASE = 1 << 32
 _SHARED_RO_BASE = 1 << 40
 _SHARED_RW_BASE = 1 << 41
 
+_READ = AccessType.READ
+_WRITE = AccessType.WRITE
+
 
 @dataclass(frozen=True)
 class RegionSpec:
@@ -204,6 +207,38 @@ class EventShaper:
         return gap, colocated
 
 
+def interleave_streams(
+    streams: "List[_CoreStream]", accesses_per_core: int
+) -> "Iterator[TimedAccess]":
+    """Round-robin the per-core streams into one timed-event stream.
+
+    This is every workload generator's hot loop, so the per-event work
+    is flattened: bound ``next_access`` methods instead of attribute
+    walks, and :class:`EventShaper`'s error accumulation inlined as
+    per-core floats (the arithmetic — and therefore the emitted
+    gap/colocated sequence — is identical to ``next_shape``, which
+    remains the reference implementation and is pinned against this
+    loop by the workload tests).
+    """
+    shapers = [EventShaper(stream.spec) for stream in streams]
+    nexts = [stream.next_access for stream in streams]
+    colocated_targets = [shaper._colocated_target for shaper in shapers]
+    gap_targets = [shaper._gap_target for shaper in shapers]
+    colocated_errors = [0.0] * len(streams)
+    gap_errors = [0.0] * len(streams)
+    indices = range(len(streams))
+    timed = TimedAccess
+    for _ in range(accesses_per_core):
+        for k in indices:
+            error = colocated_errors[k] + colocated_targets[k]
+            colocated = int(error)
+            colocated_errors[k] = error - colocated
+            error = gap_errors[k] + gap_targets[k]
+            gap = int(error)
+            gap_errors[k] = error - gap
+            yield timed(nexts[k](), gap, colocated)
+
+
 def _half(block: int) -> int:
     """Deterministic 64 B half of the 128 B block a reference touches.
 
@@ -267,7 +302,12 @@ class _CoreStream:
         self.regions = regions
         self._region_cut = np.cumsum(region_probs)
         # Recent window entries: (address, sharing class, write probability).
+        # Kept as a ring buffer once full: ``_recent_start`` points at the
+        # logically oldest entry, so logical index ``i`` lives at
+        # ``_recent[(_recent_start + i) % len]`` — same ordering as the
+        # old append-then-pop(0) list without the O(window) memmove.
         self._recent: "List[tuple[int, SharingClass, float]]" = []
+        self._recent_start = 0
         self._tail_probs = [region.spec.probabilities() for region in regions]
         self._refill()
 
@@ -300,17 +340,21 @@ class _CoreStream:
         return region.spec.write_fraction
 
     def next_access(self) -> Access:
-        if self._cursor >= self._BATCH:
-            self._refill()
         i = self._cursor
-        self._cursor += 1
+        if i >= self._BATCH:
+            self._refill()
+            i = 0
+        self._cursor = i + 1
         spec = self.spec
 
-        if self._recent and self._choice[i] < spec.p_recent:
-            index = self._recent_pick[i] % len(self._recent)
-            address, sharing, write_prob = self._recent[index]
-            is_write = self._write[i] < write_prob
-            access_type = AccessType.WRITE if is_write else AccessType.READ
+        recent = self._recent
+        rlen = len(recent)
+        if rlen and self._choice[i] < spec.p_recent:
+            pos = self._recent_start + self._recent_pick[i] % rlen
+            if pos >= rlen:
+                pos -= rlen
+            address, sharing, write_prob = recent[pos]
+            access_type = _WRITE if self._write[i] < write_prob else _READ
             return Access(self.core, address, access_type, sharing)
 
         region_index = self._region_index[i]
@@ -326,10 +370,15 @@ class _CoreStream:
         address = region.address_fn(block)
         write_prob = self._write_prob(region, block)
         is_write = self._write[i] < write_prob
-        self._recent.append((address, region.sharing, write_prob))
-        if len(self._recent) > spec.recent_window:
-            self._recent.pop(0)
-        access_type = AccessType.WRITE if is_write else AccessType.READ
+        window = spec.recent_window
+        if rlen < window:
+            recent.append((address, region.sharing, write_prob))
+        elif window:
+            start = self._recent_start
+            recent[start] = (address, region.sharing, write_prob)
+            start += 1
+            self._recent_start = 0 if start == window else start
+        access_type = _WRITE if is_write else _READ
         return Access(self.core, address, access_type, sharing=region.sharing)
 
 
@@ -427,8 +476,4 @@ class SyntheticWorkload:
             streams.append(
                 _CoreStream(self.spec, core, self.num_cores, rng, regions, probs)
             )
-        shapers = [EventShaper(self.spec) for _ in range(self.num_cores)]
-        for _ in range(accesses_per_core):
-            for core_stream, shaper in zip(streams, shapers):
-                gap, colocated = shaper.next_shape()
-                yield TimedAccess(core_stream.next_access(), gap, colocated)
+        return interleave_streams(streams, accesses_per_core)

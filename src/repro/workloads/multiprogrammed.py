@@ -22,11 +22,11 @@ from typing import Iterator
 from repro.common.rng import DEFAULT_SEED, stream
 from repro.cpu.system import TimedAccess
 from repro.workloads.base import (
-    EventShaper,
     RegionSpec,
     WorkloadSpec,
     _build_regions,
     _CoreStream,
+    interleave_streams,
 )
 
 
@@ -120,7 +120,6 @@ class MultiprogrammedWorkload:
 
     def events(self, accesses_per_core: int) -> "Iterator[TimedAccess]":
         streams = []
-        shapers = []
         for core, app in enumerate(self.apps):
             spec = _app_spec(app)
             regions, probs = _build_regions(spec, core, {}, app.region(), self.seed)
@@ -128,11 +127,7 @@ class MultiprogrammedWorkload:
             streams.append(
                 _CoreStream(spec, core, self.num_cores, rng, regions, probs)
             )
-            shapers.append(EventShaper(spec))
-        for _ in range(accesses_per_core):
-            for core_stream, shaper in zip(streams, shapers):
-                gap, colocated = shaper.next_shape()
-                yield TimedAccess(core_stream.next_access(), gap, colocated)
+        return interleave_streams(streams, accesses_per_core)
 
 
 def make_mix(mix_name: str, seed: int = DEFAULT_SEED) -> MultiprogrammedWorkload:

@@ -1,0 +1,203 @@
+"""Differential layer: the parallel sweep executor vs the serial path.
+
+The executor claims bit-identity: fanning a sweep's cells across a
+process pool must produce exactly the statistics the serial loop
+produces, for every design, both interconnect backends, and the
+multiprogrammed mixes — and a crashed worker must degrade to a serial
+retry, never a dropped cell.  These tests pin each claim with
+:meth:`SimulationStats.fingerprint` comparisons.
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro.common.stats import SimulationStats
+from repro.experiments import parallel
+from repro.experiments.parallel import Cell, resolve_jobs, run_cells
+from repro.experiments.runner import (
+    DESIGN_FACTORIES,
+    ExperimentConfig,
+    StatsCache,
+    build_design,
+    sweep,
+)
+
+#: Small but non-trivial: long enough to exercise every miss class.
+CONFIG = ExperimentConfig(warmup_per_core=1_500, measure_per_core=1_500)
+
+ALL_DESIGNS = sorted(DESIGN_FACTORIES)
+
+
+def run_both(cells, bus_model=None, jobs=4, config=CONFIG):
+    """Run ``cells`` serially and with a pool; return the two caches."""
+    serial = StatsCache()
+    run_cells(cells, config, serial, jobs=1, bus_model=bus_model)
+    pooled = StatsCache()
+    run_cells(cells, config, pooled, jobs=jobs, bus_model=bus_model)
+    return serial, pooled
+
+
+def assert_identical(cells, serial, pooled, config=CONFIG):
+    for cell in cells:
+        left = serial._cache[cell.key(config)].fingerprint()
+        right = pooled._cache[cell.key(config)].fingerprint()
+        assert left == right, f"fingerprint diverged for {cell.label}"
+
+
+class TestBitIdentity:
+    def test_all_designs_atomic(self):
+        cells = [Cell("oltp", design) for design in ALL_DESIGNS]
+        serial, pooled = run_both(cells, bus_model="atomic")
+        assert_identical(cells, serial, pooled)
+
+    def test_all_designs_eventq(self):
+        cells = [Cell("ocean", design) for design in ALL_DESIGNS]
+        serial, pooled = run_both(cells, bus_model="eventq")
+        assert_identical(cells, serial, pooled)
+
+    def test_multiprogrammed_mix(self):
+        cells = [
+            Cell("MIX1", design, multiprogrammed=True)
+            for design in ("uniform-shared", "private", "cmp-nurapid")
+        ]
+        serial, pooled = run_both(cells)
+        assert_identical(cells, serial, pooled)
+
+    def test_sweep_entrypoint_parallel(self):
+        """sweep(jobs=4) returns the same stats objects the serial
+        sweep computes, through the normal figure-module entry point."""
+        workloads = ("oltp", "ocean")
+        designs = ("uniform-shared", "private")
+        serial = sweep(workloads, designs, CONFIG, jobs=1)
+        pooled = sweep(workloads, designs, CONFIG, jobs=4)
+        for workload in workloads:
+            for design in designs:
+                assert (
+                    serial.stats[workload][design].fingerprint()
+                    == pooled.stats[workload][design].fingerprint()
+                )
+
+
+class TestCrashRecovery:
+    def test_crashed_worker_cell_is_retried_not_dropped(self, monkeypatch):
+        cells = [Cell("oltp", "private"), Cell("oltp", "uniform-shared")]
+        monkeypatch.setenv(parallel.CRASH_ENV, "oltp/private")
+        cache = StatsCache()
+        report = run_cells(cells, CONFIG, cache, jobs=2)
+        # Every cell has a result despite the dead worker...
+        for cell in cells:
+            assert cell.key(CONFIG) in cache
+        # ...and the degradation is reported, not silent.
+        assert Cell("oltp", "private") in report.retried
+        # The retried results match a clean serial run bit-for-bit.
+        clean = StatsCache()
+        monkeypatch.delenv(parallel.CRASH_ENV)
+        run_cells(cells, CONFIG, clean, jobs=1)
+        assert_identical(cells, clean, cache)
+
+    def test_report_summary_mentions_retries(self, monkeypatch):
+        monkeypatch.setenv(parallel.CRASH_ENV, "oltp/private")
+        cache = StatsCache()
+        report = run_cells([Cell("oltp", "private")], CONFIG, cache, jobs=2)
+        assert "retried serially" in report.summary()
+        assert "oltp/private" in report.summary()
+
+
+class TestJournalSharding:
+    def test_workers_journal_to_pid_shards_and_parent_merges(self, tmp_path):
+        path = str(tmp_path / "stats.cache")
+        cells = [Cell("oltp", "private"), Cell("oltp", "ideal")]
+        cache = StatsCache(path=path)
+        run_cells(cells, CONFIG, cache, jobs=2)
+        # Shards are merged and removed; the main journal has the runs.
+        assert not list(tmp_path.glob("stats.cache.shard.*"))
+        reloaded = StatsCache(path=path)
+        for cell in cells:
+            assert cell.key(CONFIG) in reloaded
+
+    def test_orphaned_shard_is_rescued(self, tmp_path):
+        path = str(tmp_path / "stats.cache")
+        StatsCache(path=path)  # create an empty journal home
+        cell = Cell("oltp", "private")
+        stats = SimulationStats()
+        StatsCache.append_record(
+            f"{path}.shard.12345", cell.key(CONFIG), stats
+        )
+        cache = StatsCache(path=path)
+        report = run_cells([cell], CONFIG, cache, jobs=2)
+        # The orphan satisfied the cell: no simulation ran.
+        assert report.ran == [] and report.retried == []
+        assert report.cached == [cell]
+        assert not os.path.exists(f"{path}.shard.12345")
+
+    def test_append_record_is_readable_journal(self, tmp_path):
+        path = str(tmp_path / "j.cache")
+        key = ("oltp", "private", CONFIG, False)
+        StatsCache.append_record(path, key, SimulationStats())
+        loaded, dirty = StatsCache._load(path)
+        assert key in loaded and not dirty
+
+    def test_insert_skips_duplicates(self, tmp_path):
+        path = str(tmp_path / "j.cache")
+        cache = StatsCache(path=path)
+        key = ("oltp", "private", CONFIG, False)
+        assert cache.insert(key, SimulationStats())
+        assert not cache.insert(key, SimulationStats())
+        with open(path, "rb") as handle:
+            records = 0
+            while True:
+                try:
+                    pickle.load(handle)
+                except EOFError:
+                    break
+                records += 1
+        assert records == 1
+
+
+class TestJobsResolution:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(parallel.JOBS_ENV, "8")
+        assert resolve_jobs(2) == 2
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(parallel.JOBS_ENV, "6")
+        assert resolve_jobs() == 6
+
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(parallel.JOBS_ENV, raising=False)
+        assert resolve_jobs() == 1
+
+    def test_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv(parallel.JOBS_ENV, "many")
+        with pytest.raises(ValueError):
+            resolve_jobs()
+        with pytest.raises(ValueError):
+            resolve_jobs(0)
+
+
+class TestCellRegistry:
+    def test_experiment_cells_match_figure_grids(self):
+        from repro.experiments import fig10_performance as fig10
+
+        cells = parallel.experiment_cells("fig10")
+        assert cells == [
+            Cell(workload, design)
+            for workload in fig10.WORKLOADS
+            for design in fig10.DESIGNS
+        ]
+
+    def test_mp_figures_flag_multiprogrammed(self):
+        assert all(c.multiprogrammed for c in parallel.experiment_cells("fig12"))
+        assert not any(c.multiprogrammed for c in parallel.experiment_cells("fig8"))
+
+    def test_suite_cells_unique_and_cover_figures(self):
+        cells = parallel.suite_cells()
+        assert len(cells) == len(set(cells))
+        for name in ("fig5", "fig7", "fig10", "fig11", "fig12"):
+            for cell in parallel.experiment_cells(name):
+                assert cell in cells
+
+    def test_unknown_experiment_has_no_cells(self):
+        assert parallel.experiment_cells("table1") == []
