@@ -13,6 +13,10 @@ Drives the library without writing Python::
     python -m repro.cli run --trace out.jsonl --metrics m.json --metrics-every 10k
     python -m repro.cli run --profile
     python -m repro.cli experiment fig10 --quick
+    python -m repro.cli experiment all --jobs 4 --cell-timeout 600
+    python -m repro.cli chaos --list
+    python -m repro.cli chaos --scenario worker-kill --scenario poison-cell
+    python -m repro.cli quarantine stats.cache
     python -m repro.cli latency
     python -m repro.cli trace generate --workload apache --out trace.txt
     python -m repro.cli trace run trace.txt --design private
@@ -21,15 +25,18 @@ Drives the library without writing Python::
 
 Also installed as the ``repro-sim`` console script.
 
-Exit codes: 0 success; 2 usage error (malformed or contradictory
-arguments, unreadable files); 3 invariant violation detected; 4
-watchdog timeout.
+Exit codes: 0 success; 1 chaos scenario failed; 2 usage error
+(malformed or contradictory arguments, unreadable files); 3 invariant
+violation detected; 4 watchdog timeout; 5 benchmark regression against
+the committed baseline; 6 a sweep finished but quarantined one or more
+poison cells (inspect with ``repro quarantine``).
 """
 
 from __future__ import annotations
 
 import argparse
 import itertools
+import os
 import sys
 from typing import Iterable, Optional, Sequence
 
@@ -39,6 +46,7 @@ from repro.cpu.system import CmpSystem, TimedAccess
 from repro.experiments import ablations, energy_report, sensitivity, smp_contrast, suite
 from repro.experiments.charts import BarGroup, StackedBar, render_grouped_bars, render_stacked_bars
 from repro.experiments.report import format_table, pct
+from repro.experiments.parallel import QUARANTINE_EXIT, QuarantinedCellError
 from repro.experiments.runner import (
     BUS_MODELS,
     DESIGN_FACTORIES,
@@ -463,6 +471,19 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def _resolve_supervision(args) -> "tuple[float, int]":
+    """Validate --cell-timeout/--max-retries (and their env vars)."""
+    from repro.experiments import parallel
+
+    try:
+        return (
+            parallel.resolve_cell_timeout(args.cell_timeout),
+            parallel.resolve_max_retries(args.max_retries),
+        )
+    except ValueError as error:
+        raise CliError(str(error)) from None
+
+
 def cmd_experiment(args) -> int:
     from repro.experiments import parallel
 
@@ -472,9 +493,15 @@ def cmd_experiment(args) -> int:
         jobs = parallel.resolve_jobs(args.jobs)
     except ValueError as error:
         raise CliError(str(error)) from None
+    cell_timeout, max_retries = _resolve_supervision(args)
     cache = StatsCache(path=args.cache) if args.cache else None
     if name == "all":
-        print(suite.run_suite(config, cache_path=args.cache, jobs=jobs).render())
+        print(
+            suite.run_suite(
+                config, cache_path=args.cache, jobs=jobs,
+                cell_timeout=cell_timeout, max_retries=max_retries,
+            ).render()
+        )
         return 0
     if jobs > 1:
         cells = parallel.experiment_cells(name)
@@ -483,9 +510,19 @@ def cmd_experiment(args) -> int:
             # below then reads every cell out of the shared cache.
             if cache is None:
                 cache = StatsCache()
-            report = parallel.run_cells(cells, config, cache, jobs=jobs)
-            if report.retried:
+            report = parallel.run_cells(
+                cells, config, cache, jobs=jobs,
+                cell_timeout=cell_timeout, max_retries=max_retries,
+            )
+            if report.retried or report.quarantined or report.fallback_reason:
                 print(f"parallel: {report.summary()}", file=sys.stderr)
+            if report.quarantined:
+                # Raise only after every healthy cell is journaled, so
+                # a rerun resumes instead of re-simulating.
+                journal = (
+                    parallel.quarantine_path(args.cache) if args.cache else None
+                )
+                raise QuarantinedCellError(report.quarantined, journal)
     if name == "energy":
         print(energy_report.run(config).report.render())
         return 0
@@ -530,12 +567,15 @@ def cmd_bench(args) -> int:
         raise CliError(
             f"--fail-threshold must be in [0, 1), got {args.threshold}"
         )
+    cell_timeout, max_retries = _resolve_supervision(args)
     result = bench.run_bench(
         designs=args.designs,
         workload=args.workload or "oltp",
         jobs=args.jobs,
         quick=args.quick,
         with_sweep=not args.no_sweep,
+        cell_timeout=cell_timeout,
+        max_retries=max_retries,
     )
     print(bench.render(result))
     out = args.out or bench.default_output_path()
@@ -565,6 +605,60 @@ def cmd_bench(args) -> int:
             f"baseline {args.baseline}: no design regressed more than "
             f"{args.threshold:.0%}"
         )
+    return 0
+
+
+def cmd_chaos(args) -> int:
+    from repro.experiments import parallel
+    from repro.harness import chaos
+
+    if args.list:
+        width = max(len(name) for name in chaos.SCENARIOS)
+        for name, (description, _) in chaos.SCENARIOS.items():
+            print(f"{name:<{width}}  {description}")
+        return 0
+    try:
+        jobs = max(parallel.resolve_jobs(args.jobs), 2)
+    except ValueError as error:
+        raise CliError(str(error)) from None
+    tracer = Tracer(capacity=args.trace_buffer, sink=args.trace) if args.trace else None
+    try:
+        report = chaos.run_chaos(
+            names=args.scenario or None, jobs=jobs, tracer=tracer, out=print
+        )
+    except ValueError as error:
+        raise CliError(str(error)) from None
+    finally:
+        if tracer is not None:
+            tracer.close()
+            print(f"trace: {tracer.emitted} supervision event(s) -> {args.trace}")
+    print()
+    print(report.render().splitlines()[-1])
+    return 0 if report.passed else 1
+
+
+def cmd_quarantine(args) -> int:
+    from repro.experiments import parallel
+
+    path = args.path
+    if not path.endswith(".quarantine"):
+        path = parallel.quarantine_path(path)
+    if not os.path.exists(path):
+        raise CliError(f"no quarantine journal at {path}")
+    records = parallel.load_quarantine(path)
+    if not records:
+        print(f"{path}: no quarantined cells")
+        return 0
+    for record in records:
+        label = record.get("label", "?")
+        attempts = record.get("attempts", "?")
+        print(f"{label}: quarantined after {attempts} attempt(s)")
+        for failure in record.get("failures", ()):
+            print(f"  [{failure.get('kind', '?')}] {failure.get('detail', '')}")
+            if args.traceback and failure.get("traceback"):
+                for line in failure["traceback"].rstrip().splitlines():
+                    print(f"    {line}")
+    print(f"{len(records)} quarantined cell(s) in {path}")
     return 0
 
 
@@ -671,6 +765,28 @@ def _add_obs_options(parser: argparse.ArgumentParser) -> None:
         "--profile",
         action="store_true",
         help="time the simulator's hot paths and print a report",
+    )
+
+
+def _add_supervision_options(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("worker supervision")
+    group.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per sweep cell attempt; a worker past "
+        "it is SIGKILLed and the cell retried (default: the "
+        "REPRO_CELL_TIMEOUT environment variable, else 0 = unbounded)",
+    )
+    group.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="extra attempts per failing sweep cell before it is "
+        "quarantined and skipped (default: the REPRO_MAX_RETRIES "
+        "environment variable, else 2)",
     )
 
 
@@ -824,6 +940,7 @@ def build_parser() -> argparse.ArgumentParser:
         "processes (default: the REPRO_JOBS environment variable, "
         "else 1); results are bit-identical to a serial run",
     )
+    _add_supervision_options(experiment_parser)
     experiment_parser.set_defaults(func=cmd_experiment)
 
     bench_parser = sub.add_parser(
@@ -880,7 +997,67 @@ def build_parser() -> argparse.ArgumentParser:
         help="allowed fractional throughput drop vs the baseline "
         "(default: 0.2)",
     )
+    _add_supervision_options(bench_parser)
     bench_parser.set_defaults(func=cmd_bench)
+
+    chaos_parser = sub.add_parser(
+        "chaos",
+        help="inject orchestration faults (worker kills, hangs, journal "
+        "corruption, poison cells) into small sweeps and assert they "
+        "converge bit-identically",
+    )
+    chaos_parser.add_argument(
+        "--scenario",
+        action="append",
+        metavar="NAME",
+        help="run one scenario (repeatable; default: all). "
+        "See --list for names",
+    )
+    chaos_parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list the chaos scenarios and exit",
+    )
+    chaos_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="workers per scenario sweep (default: REPRO_JOBS, else 2; "
+        "floored at 2 so faults race a healthy worker)",
+    )
+    chaos_parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="stream the supervision events (retry, worker-death, "
+        "quarantine, shard-corrupt) to PATH as JSONL for "
+        "'trace export'",
+    )
+    chaos_parser.add_argument(
+        "--trace-buffer",
+        type=_count,
+        default=DEFAULT_CAPACITY,
+        metavar="N",
+        help=f"tracer ring-buffer capacity (default: {DEFAULT_CAPACITY})",
+    )
+    chaos_parser.set_defaults(func=cmd_chaos)
+
+    quarantine_parser = sub.add_parser(
+        "quarantine",
+        help="inspect the poison-cell journal a sweep left next to its "
+        "stats cache",
+    )
+    quarantine_parser.add_argument(
+        "path",
+        help="stats-cache path (the .quarantine journal is derived) or "
+        "the journal itself",
+    )
+    quarantine_parser.add_argument(
+        "--traceback",
+        action="store_true",
+        help="print each failure's full worker traceback",
+    )
+    quarantine_parser.set_defaults(func=cmd_quarantine)
 
     latency_parser = sub.add_parser("latency", help="print Table 1 latencies")
     latency_parser.set_defaults(func=cmd_latency)
@@ -939,6 +1116,9 @@ def main(argv: "Optional[Sequence[str]]" = None) -> int:
                 file=sys.stderr,
             )
         return 4
+    except QuarantinedCellError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return QUARANTINE_EXIT
     except (CliError, FaultSpecError, CheckpointError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

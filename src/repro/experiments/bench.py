@@ -101,12 +101,15 @@ def measure_throughput(
     return out
 
 
-def measure_sweep(jobs: int, quick: bool = False) -> dict:
+def measure_sweep(jobs: int, quick: bool = False,
+                  cell_timeout: "Optional[float]" = None,
+                  max_retries: "Optional[int]" = None) -> dict:
     """Wall-clock a small sweep serially, then with ``jobs`` workers.
 
     Uses fresh in-memory caches on both sides (nothing is reused
     between the two runs), and checks the two result sets are
-    bit-identical while it is at it.
+    bit-identical while it is at it.  ``cell_timeout``/``max_retries``
+    tune the parallel side's worker supervision.
     """
     cells = parallel.experiment_cells("fig6")  # 4 designs x 9 workloads
     if quick:
@@ -121,7 +124,9 @@ def measure_sweep(jobs: int, quick: bool = False) -> dict:
 
     pool_cache = StatsCache()
     start = time.perf_counter()
-    report = parallel.run_cells(cells, config, pool_cache, jobs=jobs)
+    report = parallel.run_cells(cells, config, pool_cache, jobs=jobs,
+                                cell_timeout=cell_timeout,
+                                max_retries=max_retries)
     parallel_seconds = time.perf_counter() - start
 
     mismatches = [
@@ -175,6 +180,8 @@ def run_bench(
     jobs: "Optional[int]" = None,
     quick: bool = False,
     with_sweep: bool = True,
+    cell_timeout: "Optional[float]" = None,
+    max_retries: "Optional[int]" = None,
 ) -> BenchResult:
     """Run the full benchmark; see :func:`measure_throughput`."""
     if quick:
@@ -190,7 +197,8 @@ def run_bench(
     )
     if with_sweep:
         result.sweep = measure_sweep(
-            jobs=max(parallel.resolve_jobs(jobs), 2), quick=quick
+            jobs=max(parallel.resolve_jobs(jobs), 2), quick=quick,
+            cell_timeout=cell_timeout, max_retries=max_retries,
         )
     return result
 

@@ -207,14 +207,23 @@ def sweep(
     multiprogrammed: bool = False,
     cache: "Optional[StatsCache]" = None,
     jobs: "Optional[int]" = None,
+    cell_timeout: "Optional[float]" = None,
+    max_retries: "Optional[int]" = None,
 ) -> SweepResult:
     """Run every design on every workload; the core of each figure.
 
-    ``jobs`` > 1 fans the uncached cells across a process pool first
-    (bit-identical to the serial path — every cell's randomness is
-    keyed on the config seed and the cell's own names, never on
-    execution order).  None defers to the ``REPRO_JOBS`` environment
-    variable, so figure modules parallelize without signature changes.
+    ``jobs`` > 1 fans the uncached cells across a supervised worker
+    pool first (bit-identical to the serial path — every cell's
+    randomness is keyed on the config seed and the cell's own names,
+    never on execution order).  None defers to the ``REPRO_JOBS``
+    environment variable, so figure modules parallelize without
+    signature changes; ``cell_timeout`` and ``max_retries`` likewise
+    default to ``REPRO_CELL_TIMEOUT`` / ``REPRO_MAX_RETRIES``.
+
+    Raises :class:`~repro.experiments.parallel.QuarantinedCellError`
+    if any requested cell exhausted its retries — after every healthy
+    cell has run and been journaled, so a rerun resumes instead of
+    restarting.
     """
     config = config or ExperimentConfig()
     cache = cache if cache is not None else StatsCache()
@@ -226,7 +235,16 @@ def sweep(
             for workload in workload_names
             for design in design_names
         ]
-        parallel.run_cells(cells, config, cache, jobs=jobs)
+        report = parallel.run_cells(
+            cells, config, cache, jobs=jobs,
+            cell_timeout=cell_timeout, max_retries=max_retries,
+        )
+        if report.quarantined:
+            journal = (
+                parallel.quarantine_path(cache.path)
+                if cache.path is not None else None
+            )
+            raise parallel.QuarantinedCellError(report.quarantined, journal)
     result = SweepResult()
     for workload in workload_names:
         result.stats[workload] = {}
@@ -249,16 +267,22 @@ class StatsCache:
     pair is simulated exactly once.
 
     With a ``path``, the cache also persists as an **append-only
-    journal**: each completed run appends one pickled ``("run", key,
-    stats)`` record, so persisting run *N* costs O(1) instead of
-    rewriting the whole cache (the previous design re-pickled every
-    accumulated result after every run — O(N²) over a long sweep).  A
-    sweep killed halfway resumes where it stopped: loading tolerates a
-    truncated final record (the crash case) and keeps the last record
-    for a duplicated key.  Loading **compacts** when it has something to
-    fix — a truncated tail, duplicate keys, or a cache in the legacy
-    whole-dict format — by atomically rewriting the journal (tmp file +
-    rename).  A missing file starts empty; an unreadable one is ignored
+    journal**: each completed run appends one pickled record, so
+    persisting run *N* costs O(1) instead of rewriting the whole cache
+    (the previous design re-pickled every accumulated result after
+    every run — O(N²) over a long sweep).  Records are **CRC-framed**
+    — ``("run2", crc32(blob), blob)`` where ``blob`` pickles ``(key,
+    stats)`` — so silent corruption (a flipped bit that still
+    unpickles) is detected and the damaged record dropped, instead of
+    poisoning a merged sweep.  A sweep killed halfway resumes where it
+    stopped: loading tolerates a truncated final record (the crash
+    case), skips checksum-failed records, and keeps the last record for
+    a duplicated key.  Loading **compacts** when it has something to
+    fix — a truncated tail, corrupt or duplicate records, or a cache in
+    one of the legacy formats (whole-dict pickle, or unframed ``("run",
+    key, stats)`` records) — by atomically rewriting the journal (tmp
+    file + rename), which also migrates legacy records to the framed
+    form.  A missing file starts empty; an unreadable one is ignored
     (the sweep re-simulates).
     """
 
@@ -272,52 +296,86 @@ class StatsCache:
 
     @staticmethod
     def _load(path: str) -> "tuple[Dict[tuple, SimulationStats], bool]":
-        """Read a journal (or legacy whole-dict pickle) from ``path``.
+        """Read a journal (or legacy format) from ``path``.
 
         Returns ``(cache, dirty)`` where ``dirty`` means the on-disk
-        form should be compacted (legacy format, truncated tail, or
-        duplicate keys).
+        form should be compacted (legacy format, truncated tail,
+        corrupt or duplicate records).
         """
+        try:
+            with open(path, "rb") as handle:
+                return StatsCache._load_handle(handle)
+        except OSError:
+            return {}, False
+
+    @staticmethod
+    def _load_handle(handle) -> "tuple[Dict[tuple, SimulationStats], bool]":
+        """Read journal records from an open binary handle (see _load)."""
         import pickle
+        import zlib
 
         cache: "Dict[tuple, SimulationStats]" = {}
         dirty = False
-        try:
-            with open(path, "rb") as handle:
-                records = 0
-                while True:
-                    try:
-                        payload = pickle.load(handle)
-                    except EOFError:
-                        break
-                    except (pickle.UnpicklingError, AttributeError,
-                            ImportError, IndexError, ValueError):
-                        # Truncated mid-record (killed run) or stale
-                        # classes: keep what was read, drop the tail.
-                        dirty = True
-                        break
-                    records += 1
-                    if isinstance(payload, dict):
-                        # Legacy format: the whole cache as one dict.
-                        # Migrate it to the journal form on return.
-                        cache.update(payload)
-                        dirty = True
-                    elif (
-                        isinstance(payload, tuple)
-                        and len(payload) == 3
-                        and payload[0] == "run"
-                    ):
-                        _, key, stats = payload
-                        if key in cache:
-                            dirty = True  # duplicate: last record wins
-                        cache[key] = stats
-                    else:
-                        dirty = True  # unrecognized record: skip it
-        except FileNotFoundError:
-            return {}, False
-        except OSError:
-            return {}, False
+        while True:
+            try:
+                payload = pickle.load(handle)
+            except EOFError:
+                break
+            except (pickle.UnpicklingError, AttributeError,
+                    ImportError, IndexError, ValueError):
+                # Truncated mid-record (killed run), corrupt framing,
+                # or stale classes: keep what was read, drop the tail.
+                dirty = True
+                break
+            if isinstance(payload, dict):
+                # Legacy format: the whole cache as one dict.
+                # Migrate it to the journal form on return.
+                cache.update(payload)
+                dirty = True
+            elif (
+                isinstance(payload, tuple)
+                and len(payload) == 3
+                and payload[0] == "run2"
+            ):
+                # CRC-framed record: the frame keeps the pickle stream
+                # aligned, so a corrupt blob costs one record, not the
+                # whole tail.
+                _, crc, blob = payload
+                if not isinstance(blob, bytes) or zlib.crc32(blob) != crc:
+                    dirty = True  # bit-flipped record: drop it
+                    continue
+                try:
+                    key, stats = pickle.loads(blob)
+                except (pickle.UnpicklingError, AttributeError,
+                        ImportError, IndexError, ValueError, EOFError):
+                    dirty = True
+                    continue
+                if key in cache:
+                    dirty = True  # duplicate: last record wins
+                cache[key] = stats
+            elif (
+                isinstance(payload, tuple)
+                and len(payload) == 3
+                and payload[0] == "run"
+            ):
+                # Legacy unframed record: accept, and migrate to the
+                # CRC-framed form on return.
+                _, key, stats = payload
+                dirty = True
+                cache[key] = stats
+            else:
+                dirty = True  # unrecognized record: skip it
         return cache, dirty
+
+    @staticmethod
+    def _pack_record(key: tuple, stats: SimulationStats) -> bytes:
+        """One CRC-framed journal record as bytes."""
+        import pickle
+        import zlib
+
+        blob = pickle.dumps((key, stats), protocol=pickle.HIGHEST_PROTOCOL)
+        return pickle.dumps(("run2", zlib.crc32(blob), blob),
+                            protocol=pickle.HIGHEST_PROTOCOL)
 
     @staticmethod
     def append_record(path: str, key: tuple, stats: SimulationStats) -> None:
@@ -329,18 +387,16 @@ class StatsCache:
         the O_APPEND write is the only guarantee, which per-PID shard
         files make sufficient.
         """
-        import pickle
-
         try:
             import fcntl
         except ImportError:  # pragma: no cover - non-POSIX
             fcntl = None
+        record = StatsCache._pack_record(key, stats)
         with open(path, "ab") as handle:
             if fcntl is not None:
                 fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
             try:
-                pickle.dump(("run", key, stats), handle,
-                            protocol=pickle.HIGHEST_PROTOCOL)
+                handle.write(record)
                 handle.flush()
             finally:
                 if fcntl is not None:
@@ -356,13 +412,11 @@ class StatsCache:
         if self.path is None:
             return
         import os
-        import pickle
 
         tmp = f"{self.path}.tmp"
         with open(tmp, "wb") as handle:
             for key, stats in self._cache.items():
-                pickle.dump(("run", key, stats), handle,
-                            protocol=pickle.HIGHEST_PROTOCOL)
+                handle.write(self._pack_record(key, stats))
         os.replace(tmp, self.path)
 
     def __len__(self) -> int:

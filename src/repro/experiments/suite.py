@@ -51,6 +51,8 @@ def run_suite(
     config: "Optional[ExperimentConfig]" = None,
     cache_path: "Optional[str]" = None,
     jobs: "Optional[int]" = None,
+    cell_timeout: "Optional[float]" = None,
+    max_retries: "Optional[int]" = None,
 ) -> SuiteResult:
     """Run all experiments, sharing simulations through one cache.
 
@@ -61,13 +63,26 @@ def run_suite(
     ``jobs`` > 1 (or ``REPRO_JOBS``) prewarms the union of every
     experiment's cells through one process pool before any report
     renders; results are bit-identical to a serial suite.
+    ``cell_timeout``/``max_retries`` tune the prewarm's worker
+    supervision (see :class:`~repro.experiments.parallel.SupervisorConfig`).
+    Raises :class:`~repro.experiments.parallel.QuarantinedCellError` if
+    any prewarm cell exhausted its retries — after every healthy cell
+    has been journaled, so a rerun resumes instead of re-simulating.
     """
     from repro.experiments import parallel
 
     config = config or ExperimentConfig()
     cache = StatsCache(path=cache_path)
     if parallel.resolve_jobs(jobs) > 1:
-        parallel.run_cells(parallel.suite_cells(), config, cache, jobs=jobs)
+        report = parallel.run_cells(
+            parallel.suite_cells(), config, cache, jobs=jobs,
+            cell_timeout=cell_timeout, max_retries=max_retries,
+        )
+        if report.quarantined:
+            journal = (
+                parallel.quarantine_path(cache_path) if cache_path else None
+            )
+            raise parallel.QuarantinedCellError(report.quarantined, journal)
     sections: "dict[str, str]" = {}
     for name, (run_fn, render_full) in EXPERIMENTS.items():
         if name == "table1":

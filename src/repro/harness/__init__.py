@@ -17,9 +17,20 @@ multi-million-access runs survive crashes:
   resumes a killed run bit-identically;
 * :mod:`repro.harness.runner` — drives a system with paranoid-mode
   checking, periodic checkpoints, a wall-clock watchdog, and a
-  replayable event-window dump on unrecoverable errors.
+  replayable event-window dump on unrecoverable errors;
+* :mod:`repro.harness.chaos` — injects orchestration-level faults
+  (worker SIGKILL/hang/freeze, journal truncation and bit-flips,
+  orphaned shards, poison cells) into small sweeps and asserts they
+  converge bit-identically to fault-free runs.
 """
 
+from repro.harness.chaos import (
+    SCENARIOS,
+    ChaosReport,
+    ChaosSettings,
+    ScenarioResult,
+    run_chaos,
+)
 from repro.harness.checkpoint import (
     FORMAT_VERSION,
     MIGRATIONS,
@@ -45,6 +56,11 @@ from repro.harness.invariants import (
 from repro.harness.runner import HarnessConfig, HarnessRunner, WatchdogTimeout, run_events
 
 __all__ = [
+    "ChaosReport",
+    "ChaosSettings",
+    "SCENARIOS",
+    "ScenarioResult",
+    "run_chaos",
     "Checkpoint",
     "CheckpointError",
     "FORMAT_VERSION",

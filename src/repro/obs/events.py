@@ -44,6 +44,14 @@ Kinds and their ``data`` payloads:
                   ``{fault, at_index, applied, description}``
 ``violation``     invariant violation: ``{invariant, access_index,
                   detail, dump_path}``
+``retry``         sweep supervision re-queued a failed cell:
+                  ``{cell, attempt, backoff_seconds, after}``
+``quarantine``    a cell exhausted its retries and was skipped:
+                  ``{cell, attempts, last_failure}``
+``worker-death``  a sweep worker process died or was SIGKILLed:
+                  ``{cell, reason | exitcode, attempt}``
+``shard-corrupt`` an unreadable shard journal was quarantined:
+                  ``{shard, quarantined_to}``
 ================  =====================================================
 """
 
@@ -67,6 +75,10 @@ EVICTION = "eviction"
 BUS = "bus"
 FAULT = "fault"
 VIOLATION = "violation"
+RETRY = "retry"
+QUARANTINE = "quarantine"
+WORKER_DEATH = "worker-death"
+SHARD_CORRUPT = "shard-corrupt"
 
 #: Every recognized event kind, in documentation order.
 KINDS = frozenset(
@@ -85,6 +97,10 @@ KINDS = frozenset(
         BUS,
         FAULT,
         VIOLATION,
+        RETRY,
+        QUARANTINE,
+        WORKER_DEATH,
+        SHARD_CORRUPT,
     )
 )
 
@@ -260,12 +276,16 @@ __all__ = [
     "KINDS",
     "POINTER_RETURN",
     "PROMOTION",
+    "QUARANTINE",
     "RELOCATION",
     "REPLICATION",
+    "RETRY",
+    "SHARD_CORRUPT",
     "STEP",
     "TRANSITION",
     "TraceEvent",
     "VIOLATION",
+    "WORKER_DEATH",
     "read_jsonl",
     "timed_access_from_event",
     "validate_jsonl",

@@ -31,6 +31,25 @@ from repro.common.types import AccessResult
 #: (8-24), bus (32), memory (300+).
 DEFAULT_LATENCY_BOUNDS = (8, 16, 32, 64, 128, 256, 512)
 
+# Sweep-supervision counter names (the parallel executor's registry;
+# surfaced in ParallelReport.counters and the chaos harness).
+SWEEP_RETRY = "sweep.retry"
+SWEEP_QUARANTINE = "sweep.quarantine"
+SWEEP_TIMEOUT = "sweep.timeout"
+SWEEP_WORKER_DEATH = "sweep.worker_death"
+SWEEP_SHARD_CORRUPT = "sweep.shard_corrupt"
+SWEEP_FALLBACK = "sweep.fallback_serial"
+
+#: Every supervision counter, in reporting order.
+SUPERVISION_COUNTERS = (
+    SWEEP_RETRY,
+    SWEEP_QUARANTINE,
+    SWEEP_TIMEOUT,
+    SWEEP_WORKER_DEATH,
+    SWEEP_SHARD_CORRUPT,
+    SWEEP_FALLBACK,
+)
+
 
 class Counter:
     """A monotonically increasing count."""
@@ -369,4 +388,11 @@ __all__ = [
     "MetricsCollector",
     "MetricsRegistry",
     "MetricsSeries",
+    "SUPERVISION_COUNTERS",
+    "SWEEP_FALLBACK",
+    "SWEEP_QUARANTINE",
+    "SWEEP_RETRY",
+    "SWEEP_SHARD_CORRUPT",
+    "SWEEP_TIMEOUT",
+    "SWEEP_WORKER_DEATH",
 ]

@@ -49,8 +49,13 @@ _DGROUP_KINDS = frozenset(
 #: Kinds rendered as instants on the issuing core's thread.
 _CORE_KINDS = frozenset((ev.POINTER_RETURN, ev.TRANSITION, ev.C_WRITE))
 
-#: Kinds rendered on the system process's harness thread.
-_HARNESS_KINDS = frozenset((ev.FAULT, ev.VIOLATION))
+#: Kinds rendered on the system process's harness thread (sweep
+#: supervision events carry no core/d-group; the harness track keeps a
+#: chaos run's retries/kills/quarantines on one timeline).
+_HARNESS_KINDS = frozenset(
+    (ev.FAULT, ev.VIOLATION, ev.RETRY, ev.QUARANTINE, ev.WORKER_DEATH,
+     ev.SHARD_CORRUPT)
+)
 
 
 def _metadata(pid: int, name: str, tid: "Optional[int]" = None,

@@ -339,3 +339,94 @@ class TestObservabilityFlags:
         )
         assert code == 2
         assert "error:" in err
+
+
+class TestSupervisionFlags:
+    """--cell-timeout/--max-retries plumbing and the chaos/quarantine
+    subcommands."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["experiment", "fig5", "--cell-timeout", "-1"],
+            ["experiment", "fig5", "--max-retries", "-2"],
+            ["bench", "--cell-timeout", "-0.5", "--no-sweep", "--quick"],
+            ["bench", "--max-retries", "-1", "--no-sweep", "--quick"],
+        ],
+    )
+    def test_malformed_supervision_flags_exit_2(self, capsys, argv):
+        code, out, err = run_cli_err(capsys, *argv)
+        assert code == 2
+        assert "Traceback" not in err
+
+    def test_env_garbage_is_a_usage_error(self, capsys, monkeypatch):
+        from repro.experiments import parallel
+
+        monkeypatch.setenv(parallel.CELL_TIMEOUT_ENV, "soon")
+        code, out, err = run_cli_err(capsys, "experiment", "fig5", "--quick")
+        assert code == 2
+        assert parallel.CELL_TIMEOUT_ENV in err
+
+    def test_parser_accepts_supervision_flags(self):
+        args = build_parser().parse_args(
+            ["experiment", "fig5", "--cell-timeout", "600",
+             "--max-retries", "3"]
+        )
+        assert args.cell_timeout == 600.0 and args.max_retries == 3
+        args = build_parser().parse_args(["bench", "--cell-timeout", "30"])
+        assert args.cell_timeout == 30.0 and args.max_retries is None
+
+    def test_poisoned_experiment_exits_6_and_is_inspectable(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        from repro.experiments import parallel
+
+        cache = tmp_path / "stats.cache"
+        monkeypatch.setenv(parallel.CHAOS_POISON_ENV, "oltp/private")
+        code, out, err = run_cli_err(
+            capsys, "experiment", "fig5", "--quick", "--jobs", "2",
+            "--cache", str(cache), "--max-retries", "0",
+        )
+        assert code == parallel.QUARANTINE_EXIT == 6
+        assert "quarantined" in err and "oltp/private" in err
+        monkeypatch.delenv(parallel.CHAOS_POISON_ENV)
+
+        code, out = run_cli(capsys, "quarantine", str(cache))
+        assert code == 0
+        assert "oltp/private" in out and "RuntimeError" in out
+
+        code, out = run_cli(capsys, "quarantine", str(cache), "--traceback")
+        assert code == 0
+        assert "Traceback" in out
+
+    def test_quarantine_missing_journal_exits_2(self, capsys, tmp_path):
+        code, out, err = run_cli_err(
+            capsys, "quarantine", str(tmp_path / "nope.cache")
+        )
+        assert code == 2
+        assert "no quarantine journal" in err
+
+    def test_chaos_list(self, capsys):
+        code, out = run_cli(capsys, "chaos", "--list")
+        assert code == 0
+        assert "worker-kill" in out and "poison-cell" in out
+
+    def test_chaos_unknown_scenario_exits_2(self, capsys):
+        code, out, err = run_cli_err(
+            capsys, "chaos", "--scenario", "meteor-strike"
+        )
+        assert code == 2
+        assert "meteor-strike" in err
+
+    def test_chaos_scenario_runs_and_traces(self, capsys, tmp_path):
+        trace = tmp_path / "chaos.jsonl"
+        code, out = run_cli(
+            capsys, "chaos", "--scenario", "poison-cell",
+            "--trace", str(trace),
+        )
+        assert code == 0
+        assert "PASS" in out
+        from repro.obs.events import read_jsonl
+
+        kinds = {event.kind for event in read_jsonl(str(trace))}
+        assert "quarantine" in kinds

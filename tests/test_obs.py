@@ -429,7 +429,7 @@ def test_stats_cache_appends_one_record_per_run(tmp_path):
     cache._append(("apache", "d", config, False), _stats_with(2))
     records = _journal_records(path)
     assert len(records) == 2
-    assert all(record[0] == "run" for record in records)
+    assert all(record[0] == "run2" for record in records)
 
     # A fresh cache loads both entries and serves them without simulating.
     warm = StatsCache(path)
@@ -469,7 +469,7 @@ def test_stats_cache_migrates_legacy_whole_dict_pickle(tmp_path):
     cache = StatsCache(path)
     assert len(cache) == 1
     records = _journal_records(path)
-    assert len(records) == 1 and records[0][0] == "run"
+    assert len(records) == 1 and records[0][0] == "run2"
 
 
 def test_stats_cache_duplicate_keys_last_wins_and_compacts(tmp_path):

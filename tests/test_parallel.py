@@ -8,14 +8,21 @@ retry, never a dropped cell.  These tests pin each claim with
 :meth:`SimulationStats.fingerprint` comparisons.
 """
 
+import multiprocessing
 import os
 import pickle
+import zlib
 
 import pytest
 
 from repro.common.stats import SimulationStats
 from repro.experiments import parallel
-from repro.experiments.parallel import Cell, resolve_jobs, run_cells
+from repro.experiments.parallel import (
+    Cell,
+    SupervisorConfig,
+    resolve_jobs,
+    run_cells,
+)
 from repro.experiments.runner import (
     DESIGN_FACTORIES,
     ExperimentConfig,
@@ -154,6 +161,308 @@ class TestJournalSharding:
                     break
                 records += 1
         assert records == 1
+
+
+#: Supervision knobs sized for tests: fast polls, quick backoff.
+def fast_supervision(cell_timeout=0.0, heartbeat_grace=30.0):
+    return SupervisorConfig(
+        cell_timeout=cell_timeout,
+        max_retries=2,
+        backoff_base=0.01,
+        backoff_cap=0.05,
+        heartbeat_interval=0.1,
+        heartbeat_grace=heartbeat_grace,
+        poll_interval=0.01,
+    )
+
+
+class TestSupervision:
+    CELLS = [Cell("oltp", "private"), Cell("oltp", "uniform-shared")]
+
+    def _serial(self):
+        clean = StatsCache()
+        run_cells(self.CELLS, CONFIG, clean, jobs=1)
+        return clean
+
+    def test_hung_worker_is_killed_at_the_cell_timeout(
+        self, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv(parallel.CHAOS_HANG_ENV, "oltp/private")
+        monkeypatch.setenv(parallel.CHAOS_MARK_DIR_ENV, str(tmp_path))
+        cache = StatsCache()
+        report = run_cells(
+            self.CELLS, CONFIG, cache, jobs=2,
+            supervision=fast_supervision(cell_timeout=2.0),
+        )
+        assert report.counters.get("sweep.timeout", 0) >= 1
+        assert Cell("oltp", "private") in report.recovered
+        monkeypatch.delenv(parallel.CHAOS_HANG_ENV)
+        assert_identical(self.CELLS, self._serial(), cache)
+
+    def test_frozen_worker_outed_by_stale_heartbeat(
+        self, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv(parallel.CHAOS_FREEZE_ENV, "oltp/private")
+        monkeypatch.setenv(parallel.CHAOS_MARK_DIR_ENV, str(tmp_path))
+        cache = StatsCache()
+        report = run_cells(
+            self.CELLS, CONFIG, cache, jobs=2,
+            supervision=fast_supervision(heartbeat_grace=1.5),
+        )
+        # No cell timeout is configured: only the heartbeat can have
+        # distinguished the frozen worker from a slow one.
+        assert report.counters.get("sweep.worker_death", 0) >= 1
+        monkeypatch.delenv(parallel.CHAOS_FREEZE_ENV)
+        assert_identical(self.CELLS, self._serial(), cache)
+
+    def test_killed_worker_retries_in_a_worker_not_the_parent(
+        self, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv(parallel.CHAOS_KILL_ENV, "oltp/private")
+        monkeypatch.setenv(parallel.CHAOS_MARK_DIR_ENV, str(tmp_path))
+        cache = StatsCache()
+        report = run_cells(
+            self.CELLS, CONFIG, cache, jobs=2,
+            supervision=fast_supervision(),
+        )
+        # First attempt SIGKILLed, second succeeded in a worker: the
+        # cell is recovered, not parent-rescued and not quarantined.
+        assert Cell("oltp", "private") in report.recovered
+        assert report.retried == [] and report.quarantined == []
+        assert report.counters.get("sweep.retry", 0) >= 1
+        monkeypatch.delenv(parallel.CHAOS_KILL_ENV)
+        assert_identical(self.CELLS, self._serial(), cache)
+
+    def test_poison_cell_is_quarantined_with_traceback(
+        self, monkeypatch, tmp_path
+    ):
+        path = str(tmp_path / "stats.cache")
+        monkeypatch.setenv(parallel.CHAOS_POISON_ENV, "oltp/private")
+        cache = StatsCache(path=path)
+        report = run_cells(
+            self.CELLS, CONFIG, cache, jobs=2,
+            supervision=fast_supervision(),
+        )
+        assert [r.cell for r in report.quarantined] == [Cell("oltp", "private")]
+        record = report.quarantined[0]
+        assert record.attempts == 3  # initial + max_retries
+        assert all(f.kind == "exception" for f in record.failures)
+        assert "RuntimeError" in record.failures[-1].traceback
+        # The healthy cell still ran and the poison cell is absent.
+        assert Cell("oltp", "uniform-shared").key(CONFIG) in cache
+        assert Cell("oltp", "private").key(CONFIG) not in cache
+        # The quarantine journal persists next to the stats cache.
+        journal = parallel.load_quarantine(parallel.quarantine_path(path))
+        assert len(journal) == 1 and journal[0]["label"] == "oltp/private"
+        assert report.counters.get("sweep.quarantine", 0) == 1
+        assert "quarantined" in report.summary()
+
+    def test_sweep_raises_quarantined_cell_error_after_journaling(
+        self, monkeypatch, tmp_path
+    ):
+        path = str(tmp_path / "stats.cache")
+        monkeypatch.setenv(parallel.CHAOS_POISON_ENV, "oltp/private")
+        with pytest.raises(parallel.QuarantinedCellError) as excinfo:
+            sweep(
+                ("oltp",), ("private", "uniform-shared"), CONFIG,
+                cache=StatsCache(path=path), jobs=2, max_retries=0,
+            )
+        assert "oltp/private" in str(excinfo.value)
+        assert excinfo.value.journal == parallel.quarantine_path(path)
+        # The healthy cell was journaled before the raise: a rerun
+        # (faults cleared) resumes instead of re-simulating.
+        survivors = StatsCache(path=path)
+        assert Cell("oltp", "uniform-shared").key(CONFIG) in survivors
+
+    def test_pool_failure_falls_back_to_serial(self, monkeypatch):
+        def refuse(self):
+            raise OSError("fork refused")
+
+        monkeypatch.setattr(multiprocessing.Process, "start", refuse)
+        cache = StatsCache()
+        report = run_cells(
+            self.CELLS, CONFIG, cache, jobs=2,
+            supervision=fast_supervision(),
+        )
+        assert report.fallback_reason is not None
+        assert report.counters.get("sweep.fallback_serial", 0) >= 1
+        for cell in self.CELLS:
+            assert cell.key(CONFIG) in cache
+        monkeypatch.undo()
+        assert_identical(self.CELLS, self._serial(), cache)
+
+    def test_resumable_sweep_skips_journaled_cells(self, tmp_path):
+        path = str(tmp_path / "stats.cache")
+        first = StatsCache(path=path)
+        run_cells(self.CELLS, CONFIG, first, jobs=2)
+        resumed = StatsCache(path=path)
+        report = run_cells(self.CELLS, CONFIG, resumed, jobs=2)
+        assert report.ran == [] and sorted(
+            c.label for c in report.cached
+        ) == sorted(c.label for c in self.CELLS)
+
+
+class TestSupervisionResolution:
+    def test_cell_timeout_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(parallel.CELL_TIMEOUT_ENV, "9")
+        assert parallel.resolve_cell_timeout(3.5) == 3.5
+
+    def test_cell_timeout_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(parallel.CELL_TIMEOUT_ENV, "120")
+        assert parallel.resolve_cell_timeout() == 120.0
+        monkeypatch.delenv(parallel.CELL_TIMEOUT_ENV)
+        assert parallel.resolve_cell_timeout() == 0.0
+
+    def test_max_retries_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(parallel.MAX_RETRIES_ENV, "5")
+        assert parallel.resolve_max_retries() == 5
+        monkeypatch.delenv(parallel.MAX_RETRIES_ENV)
+        assert parallel.resolve_max_retries() == 2
+
+    def test_rejects_garbage(self, monkeypatch):
+        with pytest.raises(ValueError):
+            parallel.resolve_cell_timeout(-1.0)
+        with pytest.raises(ValueError):
+            parallel.resolve_max_retries(-1)
+        monkeypatch.setenv(parallel.CELL_TIMEOUT_ENV, "soon")
+        with pytest.raises(ValueError):
+            parallel.resolve_cell_timeout()
+        monkeypatch.setenv(parallel.MAX_RETRIES_ENV, "lots")
+        with pytest.raises(ValueError):
+            parallel.resolve_max_retries()
+
+
+def _journal_keys(path):
+    """Raw (possibly duplicated) keys of a journal, in record order."""
+    keys = []
+    with open(path, "rb") as handle:
+        while True:
+            try:
+                record = pickle.load(handle)
+            except EOFError:
+                break
+            assert record[0] == "run2"
+            key, _ = pickle.loads(record[2])
+            keys.append(key)
+    return keys
+
+
+class TestJournalIntegrity:
+    def _write(self, path, count=3):
+        keys = [("w", f"d{i}", CONFIG, False) for i in range(count)]
+        for key in keys:
+            StatsCache.append_record(path, key, SimulationStats())
+        return keys
+
+    def test_truncated_journal_salvages_valid_prefix(self, tmp_path):
+        path = str(tmp_path / "j.cache")
+        keys = self._write(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(os.path.getsize(path) - 17)
+        loaded, dirty = StatsCache._load(path)
+        assert dirty
+        assert list(loaded) == keys[:2]
+
+    def test_bitflipped_record_is_dropped_by_crc(self, tmp_path):
+        path = str(tmp_path / "j.cache")
+        keys = self._write(path)
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            data = bytearray(handle.read())
+            data[size // 2] ^= 0xFF
+            handle.seek(0)
+            handle.write(data)
+        loaded, dirty = StatsCache._load(path)
+        assert dirty
+        # At most one record lost, and never a corrupt stats object.
+        assert len(loaded) >= len(keys) - 1
+        for stats in loaded.values():
+            stats.fingerprint()
+
+    def test_legacy_run_records_migrate_on_load(self, tmp_path):
+        path = str(tmp_path / "j.cache")
+        key = ("oltp", "private", CONFIG, False)
+        with open(path, "wb") as handle:
+            pickle.dump(("run", key, SimulationStats()), handle)
+        loaded, dirty = StatsCache._load(path)
+        assert key in loaded and dirty
+        # Opening the cache compacts the journal to CRC-framed records.
+        cache = StatsCache(path=path)
+        assert key in cache
+        assert _journal_keys(path) == [key]
+
+    def test_crc_matches_zlib(self, tmp_path):
+        path = str(tmp_path / "j.cache")
+        key = ("oltp", "private", CONFIG, False)
+        StatsCache.append_record(path, key, SimulationStats())
+        with open(path, "rb") as handle:
+            tag, crc, blob = pickle.load(handle)
+        assert tag == "run2" and crc == zlib.crc32(blob)
+
+    def test_midwrite_killed_shard_adopts_prefix_then_deletes(
+        self, tmp_path
+    ):
+        # Regression: merge_shards used to delete a shard even when
+        # loading raised partway, losing the valid prefix.
+        path = str(tmp_path / "stats.cache")
+        shard = f"{path}.shard.777"
+        good = ("oltp", "private", CONFIG, False)
+        StatsCache.append_record(shard, good, SimulationStats())
+        StatsCache.append_record(
+            shard, ("oltp", "ideal", CONFIG, False), SimulationStats()
+        )
+        with open(shard, "r+b") as handle:
+            handle.truncate(os.path.getsize(shard) - 9)
+        cache = StatsCache(path=path)
+        parallel.merge_shards(cache)
+        assert good in cache
+        assert not os.path.exists(shard)
+
+    def test_garbage_shard_is_quarantined_not_deleted(self, tmp_path):
+        path = str(tmp_path / "stats.cache")
+        shard = f"{path}.shard.778"
+        with open(shard, "wb") as handle:
+            handle.write(b"\x80\x05not a pickle stream at all")
+        cache = StatsCache(path=path)
+        parallel.merge_shards(cache)
+        assert not os.path.exists(shard)
+        assert os.path.exists(shard + parallel.CORRUPT_SUFFIX)
+        # The quarantined shard is not re-examined on the next merge.
+        parallel.merge_shards(cache)
+        assert os.path.exists(shard + parallel.CORRUPT_SUFFIX)
+
+
+def _merge_worker(path, barrier):
+    barrier.wait()
+    cache = StatsCache(path=path)
+    parallel.merge_shards(cache)
+
+
+class TestConcurrentMerge:
+    def test_two_parents_merge_orphans_without_double_adopt(self, tmp_path):
+        path = str(tmp_path / "stats.cache")
+        StatsCache(path=path)
+        keys = [("w", f"d{i}", CONFIG, False) for i in range(8)]
+        for i, key in enumerate(keys):
+            StatsCache.append_record(
+                f"{path}.shard.{1000 + i}", key, SimulationStats()
+            )
+        barrier = multiprocessing.Barrier(2)
+        parents = [
+            multiprocessing.Process(
+                target=_merge_worker, args=(path, barrier)
+            )
+            for _ in range(2)
+        ]
+        for proc in parents:
+            proc.start()
+        for proc in parents:
+            proc.join(timeout=60)
+            assert proc.exitcode == 0
+        # Every record was adopted exactly once — no loss, no dupes.
+        merged = _journal_keys(path)
+        assert sorted(map(repr, merged)) == sorted(map(repr, keys))
+        assert not list(tmp_path.glob("stats.cache.shard.*"))
 
 
 class TestJobsResolution:
