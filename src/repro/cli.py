@@ -71,6 +71,8 @@ from repro.harness.faults import (
 )
 from repro.latency import cacti, tables
 from repro.obs.events import validate_jsonl
+from repro.perflab.history import HistoryError
+from repro.perflab.plan import PlanError
 from repro.obs.metrics import MetricsCollector
 from repro.obs.perfetto import export_jsonl
 from repro.obs.profiler import Profiler
@@ -568,6 +570,8 @@ def cmd_bench(args) -> int:
             f"--fail-threshold must be in [0, 1), got {args.threshold}"
         )
     cell_timeout, max_retries = _resolve_supervision(args)
+    if args.plan:
+        return _bench_plan(args, cell_timeout, max_retries)
     result = bench.run_bench(
         designs=args.designs,
         workload=args.workload or "oltp",
@@ -605,6 +609,88 @@ def cmd_bench(args) -> int:
             f"baseline {args.baseline}: no design regressed more than "
             f"{args.threshold:.0%}"
         )
+    return 0
+
+
+def _bench_plan(args, cell_timeout, max_retries) -> int:
+    """The plan-driven bench path: ``repro bench --plan FILE``."""
+    import json
+
+    from repro.experiments import bench
+    from repro import perflab
+
+    plan = perflab.load_plan(args.plan)
+    out = args.out or bench.default_output_path()
+    record = perflab.run_plan(
+        plan,
+        quick=args.quick,
+        out=out,
+        jobs=args.jobs,
+        cell_timeout=cell_timeout,
+        max_retries=max_retries,
+    )
+    if args.no_sweep:
+        record.pop("sweep", None)
+    print(perflab.render_record(record))
+    perflab.write_record(record, out)
+    print(f"wrote {out}")
+    sweep = record.get("sweep")
+    if sweep is not None and not sweep["identical"]:
+        print(
+            "error: parallel sweep results diverged from serial: "
+            + ", ".join(sweep["mismatches"]),
+            file=sys.stderr,
+        )
+        return bench.REGRESSION_EXIT
+    if args.baseline:
+        try:
+            with open(args.baseline, "r", encoding="utf-8") as handle:
+                baseline = json.load(handle)
+        except (OSError, ValueError) as error:
+            raise CliError(f"unreadable baseline {args.baseline}: {error}")
+        problems = bench.compare_to_baseline(
+            record["throughput_accesses_per_sec"], baseline, args.threshold
+        )
+        if problems:
+            for problem in problems:
+                print(f"perf regression: {problem}", file=sys.stderr)
+            return bench.REGRESSION_EXIT
+        print(
+            f"baseline {args.baseline}: no design regressed more than "
+            f"{args.threshold:.0%}"
+        )
+    return 0
+
+
+def cmd_bench_report(args) -> int:
+    """Trend engine: ``repro bench report`` over BENCH_*.json history."""
+    from repro.experiments import bench
+    from repro import perflab
+
+    plan = perflab.load_plan(args.plan) if args.plan else None
+    paths = perflab.discover_history(args.history or ["BENCH_*.json"])
+    if not paths:
+        raise CliError(
+            "no BENCH history found; pass files or globs with --history"
+        )
+    runs = perflab.load_history(paths)
+    report = perflab.write_report(runs, args.out_dir, plan=plan)
+    print(
+        f"trend report over {len(runs)} run(s) "
+        f"({runs[0].run_id} .. {runs[-1].run_id}) -> {report.markdown_path}"
+    )
+    for chart in report.chart_paths:
+        print(f"  chart: {chart}")
+    for verdict in report.verdicts:
+        print(f"  {verdict.line()}")
+    if report.regressions:
+        names = ", ".join(v.label for v in report.regressions)
+        print(
+            f"error: {len(report.regressions)} cell(s) regressed against "
+            f"their rolling baselines: {names}",
+            file=sys.stderr,
+        )
+        return bench.REGRESSION_EXIT
     return 0
 
 
@@ -946,7 +1032,17 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser = sub.add_parser(
         "bench",
         help="measure simulated accesses/sec and sweep speedup; "
-        "optionally gate against a committed baseline",
+        "optionally gate against a committed baseline.  With --plan, "
+        "run a declarative bench plan into a v2 capture bundle; "
+        "'bench report' renders trend reports over BENCH_*.json history",
+    )
+    bench_parser.add_argument(
+        "--plan",
+        metavar="FILE",
+        help="run a declarative bench plan (TOML or JSON; see "
+        "plans/default.toml) instead of the hardcoded grid; "
+        "--designs/--workload are ignored, --quick/--jobs/--out/"
+        "--baseline still apply",
     )
     bench_parser.add_argument(
         "--designs",
@@ -999,6 +1095,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_supervision_options(bench_parser)
     bench_parser.set_defaults(func=cmd_bench)
+    bench_sub = bench_parser.add_subparsers(dest="bench_command")
+    report_parser = bench_sub.add_parser(
+        "report",
+        help="render a markdown + PNG trend report over accumulated "
+        "BENCH_*.json files and gate the latest run per cell (exit 5 "
+        "names regressed cells)",
+    )
+    report_parser.add_argument(
+        "--history",
+        nargs="+",
+        metavar="PATH",
+        help="BENCH json files or globs, any mix of v1 and v2 "
+        "(default: BENCH_*.json in the current directory)",
+    )
+    report_parser.add_argument(
+        "--out-dir",
+        default=os.path.join("benchmarks", "reports"),
+        metavar="DIR",
+        help="where trend.md and the PNG curves go "
+        "(default: benchmarks/reports)",
+    )
+    report_parser.add_argument(
+        "--plan",
+        metavar="FILE",
+        help="bench plan supplying per-cell gate thresholds "
+        "(default: 20%% for every cell)",
+    )
+    report_parser.set_defaults(func=cmd_bench_report)
 
     chaos_parser = sub.add_parser(
         "chaos",
@@ -1120,6 +1244,11 @@ def main(argv: "Optional[Sequence[str]]" = None) -> int:
         print(f"error: {error}", file=sys.stderr)
         return QUARANTINE_EXIT
     except (CliError, FaultSpecError, CheckpointError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except (PlanError, HistoryError) as error:
+        # A malformed plan or unreadable BENCH history is a usage
+        # error, same as any other bad input file.
         print(f"error: {error}", file=sys.stderr)
         return 2
     except OSError as error:

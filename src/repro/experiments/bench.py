@@ -23,6 +23,7 @@ the floor.
 from __future__ import annotations
 
 import json
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
@@ -134,7 +135,7 @@ def measure_sweep(jobs: int, quick: bool = False,
         if serial_cache._cache[cell.key(config)].fingerprint()
         != pool_cache._cache[cell.key(config)].fingerprint()
     ]
-    return {
+    result = {
         "cells": len(cells),
         "jobs": jobs,
         "serial_seconds": round(serial_seconds, 3),
@@ -145,6 +146,30 @@ def measure_sweep(jobs: int, quick: bool = False,
         "mismatches": mismatches,
         "retried": [cell.label for cell in report.retried],
     }
+    result.update(sweep_gate_fields(os.cpu_count() or 1))
+    return result
+
+
+def sweep_gate_fields(cpus: int) -> dict:
+    """Gate-eligibility fields for a sweep measurement on this host.
+
+    A single-CPU host cannot beat serial wall-clock with a process pool
+    (speedup <= 1.0 by construction, pure scheduling overhead), so its
+    parallel-vs-serial comparison must never contribute to a regression
+    verdict.  The skip is recorded in the result so trend reports can
+    show *why* no speedup verdict exists for the run.
+    """
+    if cpus <= 1:
+        return {
+            "cpus": cpus,
+            "speedup_gate_eligible": False,
+            "speedup_gate_note": (
+                "skipped: single-CPU host — a worker pool cannot beat "
+                "serial wall-clock here, so the speedup is recorded but "
+                "never gated on"
+            ),
+        }
+    return {"cpus": cpus, "speedup_gate_eligible": True}
 
 
 def compare_to_baseline(
@@ -203,10 +228,22 @@ def run_bench(
     return result
 
 
-def default_output_path(today: "Optional[str]" = None) -> str:
+def default_output_path(today: "Optional[str]" = None,
+                        directory: str = ".") -> str:
+    """``BENCH_<date>.json``, collision-safe within ``directory``.
+
+    A second run on the same day gets ``BENCH_<date>-2.json``, a third
+    ``-3``, and so on — same-day history accumulates instead of the
+    later run silently overwriting the earlier one.
+    """
     if today is None:
         today = time.strftime("%Y%m%d")
-    return f"BENCH_{today}.json"
+    path = os.path.join(directory, f"BENCH_{today}.json")
+    suffix = 2
+    while os.path.exists(path):
+        path = os.path.join(directory, f"BENCH_{today}-{suffix}.json")
+        suffix += 1
+    return path
 
 
 def render(result: BenchResult) -> str:

@@ -112,6 +112,34 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``0 <= q <= 1``) from the buckets.
+
+        Linear interpolation within the bucket the rank lands in,
+        assuming values spread uniformly across it (the Prometheus
+        ``histogram_quantile`` model); the first bucket interpolates
+        from 0, and a rank landing in the unbounded overflow bucket
+        reports the last finite edge — the tightest claim the buckets
+        support.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.buckets):
+            if cumulative + bucket_count >= target:
+                if index >= len(self.bounds):  # overflow bucket
+                    return float(self.bounds[-1]) if self.bounds else 0.0
+                lo = float(self.bounds[index - 1]) if index else 0.0
+                hi = float(self.bounds[index])
+                if not bucket_count:
+                    return hi
+                return lo + (hi - lo) * (target - cumulative) / bucket_count
+            cumulative += bucket_count
+        return float(self.bounds[-1]) if self.bounds else 0.0
+
     def snapshot(self) -> "Dict[str, Any]":
         labels = [f"<={bound:g}" for bound in self.bounds] + [
             f">{self.bounds[-1]:g}" if self.bounds else "all"
@@ -121,6 +149,9 @@ class Histogram:
             "count": self.count,
             "sum": self.total,
             "mean": self.mean,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
         }
 
 

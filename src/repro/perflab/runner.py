@@ -1,0 +1,367 @@
+"""Plan runner: execute a bench plan into a v2 capture bundle.
+
+One :func:`run_plan` call executes every cell of a
+:class:`~repro.perflab.plan.BenchPlan` and produces one
+``repro-bench-v2`` record — the unit the trend engine
+(:mod:`repro.perflab.history` / :mod:`repro.perflab.report`)
+accumulates over time.  Each run has three passes per bus-model group:
+
+1. **Stats pass** — the grid's cells go through the existing
+   supervised parallel executor (:func:`repro.experiments.parallel.
+   run_cells`): per-cell :class:`SimulationStats` with heartbeats,
+   retries, and quarantine exactly as experiment sweeps get them.
+   Deterministic metrics (miss rate, the stats fingerprint digest)
+   come from here, so they are bit-identical across hosts and pool
+   sizes.
+2. **Timing pass** — best-of-``repeats`` wall-clock per cell,
+   uninstrumented and in-process (the same protocol as the legacy
+   hardcoded bench, so v2 throughput numbers chain onto the v1
+   history).
+3. **Capture pass** (opt-in per plan) — one instrumented re-run per
+   cell with the profiler, interval metrics, and/or the event tracer
+   attached, written into a ``<out>.capture/<cell>/`` bundle directory
+   (``profile.json``, ``metrics.json``, ``trace.jsonl`` +
+   ``trace.perfetto.json``).  Instrumentation never touches the timed
+   runs, so capture cannot skew the trend.
+
+The record also carries an **environment fingerprint** (CPU count,
+Python/numpy versions, platform, git SHA) — the trend engine aligns
+runs by cell *and* environment so a laptop run never gates a CI run —
+and a legacy per-design ``throughput_accesses_per_sec`` view, so
+existing v1 baselines keep working against v2 files.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+import platform
+import subprocess
+import time
+from typing import Dict, List, Optional
+
+from repro.cpu.system import CmpSystem
+from repro.experiments import bench, parallel
+from repro.experiments.runner import StatsCache, build_design, run_mix, run_multithreaded
+from repro.obs.metrics import MetricsCollector
+from repro.obs.perfetto import export_jsonl
+from repro.obs.profiler import Profiler
+from repro.obs.tracer import Tracer
+from repro.perflab.plan import BenchPlan, PlanCell
+from repro.workloads.multiprogrammed import make_mix
+from repro.workloads.multithreaded import make_workload
+
+#: Schema tag for plan-driven bench records.
+SCHEMA_V2 = "repro-bench-v2"
+
+#: Schema tag of the legacy hardcoded-bench records.
+SCHEMA_V1 = "repro-bench-v1"
+
+
+def environment_fingerprint() -> dict:
+    """Where this run happened, for trend alignment."""
+    return {
+        "cpus": os.cpu_count() or 1,
+        "python": platform.python_version(),
+        "numpy": _numpy_version(),
+        "platform": f"{platform.system()}-{platform.machine()}",
+        "git_sha": _git_sha(),
+    }
+
+
+def _numpy_version() -> "Optional[str]":
+    try:
+        import numpy
+    except ImportError:  # pragma: no cover - numpy is a hard dep today
+        return None
+    return numpy.__version__
+
+
+def _git_sha() -> "Optional[str]":
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def stats_digest(stats) -> str:
+    """A short stable digest of a run's exact-counter fingerprint."""
+    payload = json.dumps(stats.fingerprint(), sort_keys=True, default=repr)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def _cell_events(cell: PlanCell, config):
+    """(workload object, event iterable, warmup event count) for a cell."""
+    maker = make_mix if cell.multiprogrammed else make_workload
+    workload = maker(cell.workload, seed=config.seed)
+    total = config.warmup_per_core + config.measure_per_core
+    events = workload.events(accesses_per_core=total)
+    return workload, events, config.warmup_per_core * workload.num_cores
+
+
+def _time_cell(cell: PlanCell, config, repeats: int) -> "tuple[float, List[float]]":
+    """Best-of-``repeats`` throughput for one cell (accesses/second).
+
+    The whole path is timed — workload generation, L1s, the design —
+    with construction outside the clock, matching the legacy
+    ``measure_throughput`` protocol exactly.
+    """
+    run = run_mix if cell.multiprogrammed else run_multithreaded
+    best = 0.0
+    seconds: "List[float]" = []
+    for _ in range(repeats):
+        design = build_design(cell.design, bus_model=cell.bus_model)
+        start = time.perf_counter()
+        system, _ = run(design, cell.workload, config)
+        elapsed = time.perf_counter() - start
+        seconds.append(round(elapsed, 4))
+        total = config.measure_per_core * len(system.cores)
+        best = max(best, total / elapsed if elapsed else 0.0)
+    return best, seconds
+
+
+def _capture_cell(cell: PlanCell, plan: BenchPlan, capture_dir: str) -> dict:
+    """One instrumented run of ``cell``; returns the bundle manifest."""
+    config = plan.config()
+    os.makedirs(capture_dir, exist_ok=True)
+    manifest: "Dict[str, object]" = {}
+    tracer = None
+    collector = None
+    profiler = None
+    if plan.capture.trace:
+        trace_path = os.path.join(capture_dir, "trace.jsonl")
+        tracer = Tracer(sink=trace_path)
+        manifest["trace"] = "trace.jsonl"
+    if plan.capture.metrics:
+        collector = MetricsCollector(sample_every=plan.capture.metrics_every)
+    if plan.capture.profile:
+        profiler = Profiler()
+
+    design = build_design(cell.design, bus_model=cell.bus_model)
+    system = CmpSystem(design, tracer=tracer, metrics=collector)
+    if profiler is not None:
+        profiler.instrument(system)
+    _, events, warmup_events = _cell_events(cell, config)
+    iterator = iter(events)
+    if warmup_events:
+        system.run(itertools.islice(iterator, warmup_events))
+        system.reset_stats()
+    system.run(iterator)
+
+    if collector is not None:
+        series = collector.finish()
+        metrics_path = os.path.join(capture_dir, "metrics.json")
+        series.to_json(metrics_path)
+        manifest["metrics"] = "metrics.json"
+        latency = collector.registry.histogram("l2.latency")
+        manifest["latency"] = {
+            "mean": round(latency.mean, 3),
+            "p50": round(latency.percentile(0.50), 3),
+            "p95": round(latency.percentile(0.95), 3),
+            "p99": round(latency.percentile(0.99), 3),
+        }
+    if profiler is not None:
+        profile_path = os.path.join(capture_dir, "profile.json")
+        with open(profile_path, "w", encoding="utf-8") as handle:
+            json.dump(profiler.snapshot(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        manifest["profile"] = "profile.json"
+    if tracer is not None:
+        tracer.close()
+        perfetto_path = os.path.join(capture_dir, "trace.perfetto.json")
+        export_jsonl(os.path.join(capture_dir, "trace.jsonl"), perfetto_path)
+        manifest["perfetto"] = "trace.perfetto.json"
+    return manifest
+
+
+def cell_slug(label: str) -> str:
+    """A filesystem-safe name for one cell's capture directory."""
+    return label.replace("/", "-")
+
+
+def run_plan(
+    plan: BenchPlan,
+    quick: bool = False,
+    out: "Optional[str]" = None,
+    jobs: "Optional[int]" = None,
+    cell_timeout: "Optional[float]" = None,
+    max_retries: "Optional[int]" = None,
+) -> dict:
+    """Execute ``plan`` and return the ``repro-bench-v2`` record.
+
+    ``quick`` shrinks run lengths the same way the legacy bench's
+    ``--quick`` does (CI smoke sizing); ``out`` names the record's
+    output path so the capture bundle can sit next to it (the caller
+    still writes the record itself); ``jobs`` overrides the plan's
+    stats-pass worker count.  A cell that exhausts its supervised
+    retries raises :class:`~repro.experiments.parallel.
+    QuarantinedCellError`, exactly like an experiment sweep.
+    """
+    if quick:
+        plan = _quicken(plan)
+    config = plan.config()
+    cells = plan.cells()
+    resolved_jobs = parallel.resolve_jobs(
+        jobs if jobs is not None else (plan.jobs or None)
+    )
+
+    # Stats pass: through the supervised executor, one bus-model group
+    # at a time (the executor resolves one bus model per invocation;
+    # separate caches keep the groups' records from colliding on the
+    # bus-model-free cache key).
+    stats_by_label: "Dict[str, object]" = {}
+    for bus_model in plan.bus_models:
+        group = [cell for cell in cells if cell.bus_model == bus_model]
+        grid = [
+            parallel.Cell(cell.workload, cell.design, cell.multiprogrammed)
+            for cell in group
+        ]
+        cache = StatsCache()
+        report = parallel.run_cells(
+            grid, config, cache, jobs=resolved_jobs, bus_model=bus_model,
+            cell_timeout=cell_timeout, max_retries=max_retries,
+        )
+        if report.quarantined:
+            raise parallel.QuarantinedCellError(report.quarantined, None)
+        for plan_cell, grid_cell in zip(group, grid):
+            stats_by_label[plan_cell.label] = cache._cache[grid_cell.key(config)]
+
+    # Timing pass: uninstrumented best-of-repeats, in plan order.
+    capture_base = f"{os.path.splitext(out)[0]}.capture" if out else None
+    records: "Dict[str, dict]" = {}
+    for cell in cells:
+        stats = stats_by_label[cell.label]
+        best, seconds = _time_cell(cell, config, plan.repeats)
+        record = {
+            "workload": cell.workload,
+            "design": cell.design,
+            "bus_model": cell.bus_model,
+            "multiprogrammed": cell.multiprogrammed,
+            "throughput_accesses_per_sec": round(best, 1),
+            "repeat_seconds": seconds,
+            "miss_rate": round(stats.accesses.miss_rate, 6),
+            "fingerprint": stats_digest(stats),
+        }
+        # Capture pass: one extra instrumented run, never the timed one.
+        if plan.capture.any and capture_base is not None:
+            capture_dir = os.path.join(capture_base, cell_slug(cell.label))
+            manifest = _capture_cell(cell, plan, capture_dir)
+            latency = manifest.pop("latency", None)
+            if latency is not None:
+                record["latency"] = latency
+            record["capture"] = {
+                "dir": os.path.relpath(capture_dir,
+                                       os.path.dirname(out) or "."),
+                **manifest,
+            }
+        records[cell.label] = record
+
+    result = {
+        "schema": SCHEMA_V2,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "plan": plan.to_dict(),
+        "environment": environment_fingerprint(),
+        "accesses_per_core": config.measure_per_core,
+        "repeats": plan.repeats,
+        "cells": records,
+        # Legacy view: per-design best across the grid, so v1 baselines
+        # (and compare_to_baseline) keep working against v2 records.
+        "throughput_accesses_per_sec": _legacy_view(records),
+    }
+    if plan.sweep.enabled:
+        sweep_jobs = plan.sweep.jobs or None
+        result["sweep"] = bench.measure_sweep(
+            jobs=max(parallel.resolve_jobs(sweep_jobs), 2),
+            quick=quick or plan.sweep.quick,
+            cell_timeout=cell_timeout,
+            max_retries=max_retries,
+        )
+    return result
+
+
+def _quicken(plan: BenchPlan) -> BenchPlan:
+    """The plan resized for CI smoke runs (mirrors the legacy --quick)."""
+    from dataclasses import replace
+
+    return replace(
+        plan,
+        accesses_per_core=min(plan.accesses_per_core, 20_000),
+        repeats=min(plan.repeats, 2),
+    )
+
+
+def _legacy_view(records: "Dict[str, dict]") -> "Dict[str, float]":
+    view: "Dict[str, float]" = {}
+    for record in records.values():
+        design = record["design"]
+        value = record["throughput_accesses_per_sec"]
+        view[design] = max(view.get(design, 0.0), value)
+    return view
+
+
+def write_record(record: dict, path: str) -> None:
+    """Write one BENCH record as stable, diff-friendly JSON."""
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def render_record(record: dict) -> str:
+    """Human-readable summary of one v2 record (the CLI's stdout)."""
+    plan = record.get("plan", {})
+    run = plan.get("run", {})
+    lines = [
+        f"plan: {plan.get('name', '?')} "
+        f"({record.get('accesses_per_core', run.get('accesses_per_core', '?'))} "
+        f"accesses/core, best of {record.get('repeats', '?')})"
+    ]
+    for label, cell in record.get("cells", {}).items():
+        line = (
+            f"  {label:<34} "
+            f"{cell['throughput_accesses_per_sec']:>12,.0f} accesses/s  "
+            f"miss {100.0 * cell['miss_rate']:.2f}%"
+        )
+        latency = cell.get("latency")
+        if latency:
+            line += f"  p95 {latency['p95']:g}cy"
+        lines.append(line)
+    sweep = record.get("sweep")
+    if sweep:
+        note = "bit-identical" if sweep.get("identical") else "MISMATCH"
+        lines.append(
+            f"sweep: {sweep['cells']} cells, serial {sweep['serial_seconds']}s "
+            f"-> {sweep['jobs']} jobs {sweep['parallel_seconds']}s "
+            f"({sweep['speedup']}x, {note})"
+        )
+        if not sweep.get("speedup_gate_eligible", True):
+            lines.append(f"  speedup gate {sweep.get('speedup_gate_note', 'skipped')}")
+    env = record.get("environment", {})
+    if env:
+        lines.append(
+            f"environment: {env.get('cpus', '?')} cpu(s), "
+            f"python {env.get('python', '?')}, numpy {env.get('numpy', '?')}, "
+            f"git {str(env.get('git_sha'))[:12]}"
+        )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "SCHEMA_V1",
+    "SCHEMA_V2",
+    "cell_slug",
+    "environment_fingerprint",
+    "render_record",
+    "run_plan",
+    "stats_digest",
+    "write_record",
+]

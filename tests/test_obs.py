@@ -209,6 +209,32 @@ def test_histogram_buckets_and_mean():
         Histogram(bounds=(20, 10))
 
 
+def test_histogram_percentiles_from_buckets():
+    histogram = Histogram(bounds=(10, 20, 50))
+    for value in (5, 5, 15, 25, 40, 45):
+        histogram.record(value)
+    # 6 samples: 2 in <=10, 1 in <=20, 3 in <=50.  Interpolated within
+    # the bucket that crosses the target rank (Prometheus-style).
+    assert histogram.percentile(0.0) == 0.0
+    assert histogram.percentile(0.5) == pytest.approx(20.0)
+    assert histogram.percentile(1.0) == pytest.approx(50.0)
+    snap = histogram.snapshot()
+    assert snap["p50"] == histogram.percentile(0.50)
+    assert snap["p95"] == histogram.percentile(0.95)
+    assert snap["p99"] == histogram.percentile(0.99)
+    with pytest.raises(ValueError):
+        histogram.percentile(1.5)
+
+
+def test_histogram_percentile_overflow_and_empty():
+    empty = Histogram(bounds=(10,))
+    assert empty.percentile(0.99) == 0.0
+    overflow = Histogram(bounds=(10,))
+    overflow.record(500)  # everything past the last edge
+    # The overflow bucket has no finite upper edge; report the last one.
+    assert overflow.percentile(0.99) == 10.0
+
+
 def test_registry_rejects_kind_mismatch():
     registry = MetricsRegistry()
     registry.counter("x")

@@ -1,0 +1,610 @@
+"""Perf-lab tests: plans, the plan runner, BENCH history, the gate.
+
+Layout mirrors the package: plan parsing/validation, one tiny real
+``run_plan`` execution (module-scoped — the record feeds several
+tests), v1->v2 history migration pinned by the committed fixture,
+rolling-baseline verdicts incl. the injected-regression case CI's
+perf-lab-smoke job re-checks end-to-end, the PNG fallback renderer,
+and the bench satellites (single-CPU sweep gating, collision-safe
+output paths).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments import bench
+from repro.perflab import (
+    BenchPlan,
+    CapturePolicy,
+    GatePolicy,
+    PlanError,
+    SweepPolicy,
+    build_trends,
+    default_plan,
+    load_history,
+    load_plan,
+    plan_from_dict,
+    run_plan,
+    stats_digest,
+    upgrade_record,
+    write_record,
+)
+from repro.perflab import chartpng, report as trend_report
+from repro.perflab.history import HistoryError, discover_history, env_key
+from repro.perflab.plan import parse_plan_toml
+from repro.perflab.runner import environment_fingerprint
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+PLANS = os.path.join(REPO, "plans")
+V1_FIXTURE = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "data", "bench",
+    "BENCH_20260806.json",
+)
+
+TINY_PLAN = BenchPlan(
+    name="tiny",
+    designs=("private", "cmp-nurapid"),
+    workloads=("oltp",),
+    bus_models=("atomic",),
+    accesses_per_core=2_000,
+    repeats=1,
+    sweep=SweepPolicy(enabled=False),
+)
+
+
+# ---------------------------------------------------------------------------
+# Plans
+
+
+class TestPlanValidation:
+    def test_bundled_plans_load(self):
+        for name in ("default.toml", "ci-smoke.toml"):
+            plan = load_plan(os.path.join(PLANS, name))
+            assert plan.cells()
+            assert plan.path and plan.path.endswith(name)
+
+    def test_default_plan_matches_legacy_bench_grid(self):
+        plan = load_plan(os.path.join(PLANS, "default.toml"))
+        assert tuple(plan.designs) == bench.DEFAULT_DESIGNS
+        assert tuple(plan.workloads) == ("oltp",)
+        assert plan.accesses_per_core == 40_000
+        assert plan.repeats == 3
+        assert plan.sweep.enabled
+        twin = default_plan()
+        assert tuple(twin.designs) == tuple(plan.designs)
+        assert twin.accesses_per_core == plan.accesses_per_core
+
+    def test_minimal_plan_is_name_only(self):
+        plan = plan_from_dict({"plan": {"name": "mini"}})
+        assert plan.name == "mini"
+        assert [c.label for c in plan.cells()] == [
+            "oltp/uniform-shared/atomic",
+            "oltp/private/atomic",
+            "oltp/cmp-nurapid/atomic",
+        ]
+
+    def test_json_plans_load(self, tmp_path):
+        path = tmp_path / "p.json"
+        path.write_text(json.dumps({
+            "plan": {"name": "j"},
+            "grid": {"designs": ["private"], "workloads": ["MIX1"]},
+        }))
+        plan = load_plan(str(path))
+        assert plan.cells()[0].multiprogrammed
+
+    @pytest.mark.parametrize("raw, fragment", [
+        ({}, "name"),
+        ({"plan": {"name": "x"}, "typo": {}}, "typo"),
+        ({"plan": {"name": "x", "bogus": 1}}, "bogus"),
+        ({"plan": {"name": "x"},
+          "grid": {"designs": ["no-such-design"]}}, "no-such-design"),
+        ({"plan": {"name": "x"},
+          "grid": {"workloads": ["oltp", "oltp"]}}, "duplicates"),
+        ({"plan": {"name": "x"}, "run": {"repeats": 0}}, "repeats"),
+        ({"plan": {"name": "x"}, "run": {"accesses_per_core": -5}},
+         "accesses_per_core"),
+        ({"plan": {"name": "x"}, "gate": {"threshold": 1.5}}, "threshold"),
+        ({"plan": {"name": "x"}, "sweep": {"enabled": "yes"}}, "enabled"),
+        ({"plan": {"name": "x"},
+          "gate": {"cells": {"oltp/ideal/atomic": 0.1}}}, "ideal"),
+    ])
+    def test_invalid_plans_name_the_key(self, raw, fragment):
+        with pytest.raises(PlanError, match=fragment):
+            plan_from_dict(raw)
+
+    def test_gate_cell_override_applies(self):
+        plan = plan_from_dict({
+            "plan": {"name": "g"},
+            "gate": {"threshold": 0.3,
+                     "cells": {"oltp/cmp-nurapid/atomic": 0.1}},
+        })
+        assert plan.gate.threshold_for("oltp/cmp-nurapid/atomic") == 0.1
+        assert plan.gate.threshold_for("oltp/private/atomic") == 0.3
+
+
+class TestMiniTomlParser:
+    def test_matches_tomllib_on_bundled_plans(self):
+        tomllib = pytest.importorskip("tomllib")
+        for name in ("default.toml", "ci-smoke.toml"):
+            with open(os.path.join(PLANS, name), encoding="utf-8") as handle:
+                text = handle.read()
+            assert parse_plan_toml(text) == tomllib.loads(text)
+
+    def test_values_and_comments(self):
+        raw = parse_plan_toml(
+            '[plan]\nname = "x"  # trailing comment\n'
+            '[gate]\nthreshold = 0.25\nwindow = 7\n'
+            '[gate.cells]\n"a/b/c" = 0.1\n'
+            '[grid]\ndesigns = ["private", "ideal"]\nempty = []\n'
+            '[sweep]\nenabled = false\n'
+        )
+        assert raw["plan"]["name"] == "x"
+        assert raw["gate"]["threshold"] == 0.25
+        assert raw["gate"]["window"] == 7
+        assert raw["gate"]["cells"] == {"a/b/c": 0.1}
+        assert raw["grid"]["designs"] == ["private", "ideal"]
+        assert raw["grid"]["empty"] == []
+        assert raw["sweep"]["enabled"] is False
+
+    @pytest.mark.parametrize("text", [
+        "[unclosed\n", "novalue\n", "x = \n", "x = [1,\n2]\n",
+        'x = "unterminated\n', "x = {inline = 1}\n",
+    ])
+    def test_rejects_unsupported_toml(self, text):
+        with pytest.raises(PlanError):
+            parse_plan_toml(text)
+
+
+# ---------------------------------------------------------------------------
+# The plan runner
+
+
+@pytest.fixture(scope="module")
+def tiny_record(tmp_path_factory):
+    out = tmp_path_factory.mktemp("perflab") / "BENCH_19990101.json"
+    record = run_plan(TINY_PLAN, out=str(out))
+    write_record(record, str(out))
+    return record, str(out)
+
+
+class TestRunPlan:
+    def test_v2_record_shape(self, tiny_record):
+        record, path = tiny_record
+        assert record["schema"] == "repro-bench-v2"
+        assert set(record["cells"]) == {
+            "oltp/private/atomic", "oltp/cmp-nurapid/atomic",
+        }
+        for cell in record["cells"].values():
+            assert cell["throughput_accesses_per_sec"] > 0
+            assert 0.0 <= cell["miss_rate"] <= 1.0
+            assert len(cell["fingerprint"]) == 16
+        env = record["environment"]
+        assert env["cpus"] >= 1 and env["python"] and env["numpy"]
+        # The legacy per-design view chains onto v1 baselines.
+        assert set(record["throughput_accesses_per_sec"]) == {
+            "private", "cmp-nurapid",
+        }
+        on_disk = json.load(open(path, encoding="utf-8"))
+        assert on_disk == record
+
+    def test_bit_consistent_with_direct_run(self, tiny_record):
+        # The acceptance check: the plan runner's deterministic metrics
+        # equal a direct serial simulation of the same cell.
+        from repro.experiments.runner import build_design, run_multithreaded
+
+        record, _ = tiny_record
+        _, stats = run_multithreaded(
+            build_design("cmp-nurapid"), "oltp", TINY_PLAN.config()
+        )
+        cell = record["cells"]["oltp/cmp-nurapid/atomic"]
+        assert cell["fingerprint"] == stats_digest(stats)
+        assert cell["miss_rate"] == round(stats.accesses.miss_rate, 6)
+
+    def test_capture_bundle(self, tmp_path):
+        plan = BenchPlan(
+            name="cap",
+            designs=("private",),
+            accesses_per_core=1_500,
+            repeats=1,
+            sweep=SweepPolicy(enabled=False),
+            capture=CapturePolicy(profile=True, trace=True, metrics=True,
+                                  metrics_every=500),
+        )
+        out = tmp_path / "BENCH_19990102.json"
+        record = run_plan(plan, out=str(out))
+        cell = record["cells"]["oltp/private/atomic"]
+        bundle = tmp_path / "BENCH_19990102.capture" / "oltp-private-atomic"
+        assert cell["capture"]["dir"] == os.path.join(
+            "BENCH_19990102.capture", "oltp-private-atomic"
+        )
+        for name in ("profile.json", "metrics.json", "trace.jsonl",
+                     "trace.perfetto.json"):
+            assert (bundle / name).is_file(), name
+        assert cell["latency"]["p95"] >= cell["latency"]["p50"] > 0
+
+    def test_environment_fingerprint_keys(self):
+        env = environment_fingerprint()
+        assert set(env) == {"cpus", "python", "numpy", "platform", "git_sha"}
+
+
+# ---------------------------------------------------------------------------
+# History and migration
+
+
+class TestHistory:
+    def test_v1_fixture_upgrades_to_single_point_trend(self):
+        runs = load_history([V1_FIXTURE])
+        assert len(runs) == 1
+        run = runs[0]
+        assert run.schema == "repro-bench-v1"
+        assert set(run.cells) == {
+            "oltp/uniform-shared/atomic", "oltp/private/atomic",
+            "oltp/cmp-nurapid/atomic",
+        }
+        # Pinned against the committed fixture.
+        assert run.cells["oltp/cmp-nurapid/atomic"][
+            "throughput_accesses_per_sec"] == 172658.0
+        assert run.cells["oltp/private/atomic"]["miss_rate"] is None
+        assert run.accesses == 40_000
+        trends = build_trends(runs)
+        for trend in trends.values():
+            assert len(trend.points) == 1
+            assert trend.points[0].env == "cpus=1/py=?"
+
+    def test_v1_fixture_report_is_clean(self, tmp_path):
+        runs = load_history([V1_FIXTURE])
+        result = trend_report.write_report(runs, str(tmp_path))
+        assert not result.regressions
+        assert all(v.status == trend_report.SKIPPED for v in result.verdicts)
+        assert os.path.isfile(result.markdown_path)
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(HistoryError, match="unknown BENCH schema"):
+            upgrade_record({"schema": "repro-bench-v9"}, "BENCH_x")
+
+    def test_run_ordering_same_day_suffixes(self, tmp_path):
+        base = {"schema": "repro-bench-v1",
+                "throughput_accesses_per_sec": {"private": 1.0},
+                "workload": "oltp"}
+        paths = []
+        for name in ("BENCH_20260103-2.json", "BENCH_20260103.json",
+                     "BENCH_20260102.json"):
+            path = tmp_path / name
+            path.write_text(json.dumps(base))
+            paths.append(str(path))
+        runs = load_history(paths)
+        assert [run.run_id for run in runs] == [
+            "BENCH_20260102", "BENCH_20260103", "BENCH_20260103-2",
+        ]
+
+    def test_discover_history_dedupes(self, tmp_path):
+        path = tmp_path / "BENCH_20260101.json"
+        path.write_text("{}")
+        found = discover_history([str(tmp_path / "BENCH_*.json"), str(path)])
+        assert found == [str(path)]
+
+    def test_env_key(self):
+        assert env_key({"cpus": 4, "python": "3.11.7"}) == "cpus=4/py=3.11"
+        assert env_key({}) == "cpus=?/py=?"
+
+
+# ---------------------------------------------------------------------------
+# The gate
+
+
+def _v2_run(run_id, throughput, miss_rate=0.2, cpus=4, sweep=None,
+            accesses=2_000):
+    cells = {
+        label: {
+            "workload": "oltp", "design": label.split("/")[1],
+            "bus_model": "atomic", "multiprogrammed": False,
+            "throughput_accesses_per_sec": value,
+            "miss_rate": miss_rate, "fingerprint": "0" * 16,
+        }
+        for label, value in throughput.items()
+    }
+    record = {
+        "schema": "repro-bench-v2",
+        "created": f"2026-01-{int(run_id[-2:]):02d}T00:00:00Z",
+        "environment": {"cpus": cpus, "python": "3.11.7"},
+        "accesses_per_core": accesses,
+        "cells": cells,
+    }
+    if sweep is not None:
+        record["sweep"] = sweep
+    return upgrade_record(record, run_id)
+
+
+LABEL = "oltp/private/atomic"
+
+
+class TestGate:
+    def test_healthy_history_passes(self):
+        runs = [_v2_run(f"BENCH_202601{i:02d}", {LABEL: 100.0 + i})
+                for i in range(1, 5)]
+        verdicts = trend_report.evaluate(runs, build_trends(runs))
+        assert [v.status for v in verdicts] == [trend_report.OK]
+
+    def test_thirty_percent_drop_trips(self):
+        runs = [
+            _v2_run("BENCH_20260101", {LABEL: 100.0}),
+            _v2_run("BENCH_20260102", {LABEL: 102.0}),
+            _v2_run("BENCH_20260103", {LABEL: 70.0}),
+        ]
+        verdicts = trend_report.evaluate(runs, build_trends(runs))
+        assert verdicts[0].status == trend_report.REGRESSION
+        assert LABEL in verdicts[0].line()
+        assert "below the rolling baseline" in verdicts[0].reason
+
+    def test_per_cell_threshold_override(self):
+        runs = [
+            _v2_run("BENCH_20260101", {LABEL: 100.0}),
+            _v2_run("BENCH_20260102", {LABEL: 85.0}),
+        ]
+        trends = build_trends(runs)
+        loose = trend_report.evaluate(runs, trends, GatePolicy(threshold=0.2))
+        strict = trend_report.evaluate(
+            runs, trends, GatePolicy(threshold=0.2, cells={LABEL: 0.1})
+        )
+        assert loose[0].status == trend_report.OK
+        assert strict[0].status == trend_report.REGRESSION
+
+    def test_environment_mismatch_skips(self):
+        runs = [
+            _v2_run("BENCH_20260101", {LABEL: 100.0}, cpus=8),
+            _v2_run("BENCH_20260102", {LABEL: 10.0}, cpus=1),
+        ]
+        verdicts = trend_report.evaluate(runs, build_trends(runs))
+        assert verdicts[0].status == trend_report.SKIPPED
+        assert "no comparable history" in verdicts[0].reason
+
+    def test_run_length_mismatch_skips(self):
+        runs = [
+            _v2_run("BENCH_20260101", {LABEL: 100.0}, accesses=40_000),
+            _v2_run("BENCH_20260102", {LABEL: 10.0}, accesses=2_000),
+        ]
+        verdicts = trend_report.evaluate(runs, build_trends(runs))
+        assert verdicts[0].status == trend_report.SKIPPED
+
+    def test_miss_rate_increase_trips(self):
+        runs = [
+            _v2_run("BENCH_20260101", {LABEL: 100.0}, miss_rate=0.20),
+            _v2_run("BENCH_20260102", {LABEL: 100.0}, miss_rate=0.25),
+        ]
+        verdicts = trend_report.evaluate(runs, build_trends(runs))
+        assert verdicts[0].status == trend_report.REGRESSION
+        assert "miss rate rose" in verdicts[0].reason
+        tolerant = trend_report.evaluate(
+            runs, build_trends(runs), GatePolicy(miss_rate_increase=0.1)
+        )
+        assert tolerant[0].status == trend_report.OK
+
+    def test_rolling_baseline_is_median_of_window(self):
+        # One outlier run must not drag the baseline: 100, 5, 100 -> the
+        # median is 100, so a healthy 98 passes.
+        runs = [
+            _v2_run("BENCH_20260101", {LABEL: 100.0}),
+            _v2_run("BENCH_20260102", {LABEL: 5.0}),
+            _v2_run("BENCH_20260103", {LABEL: 100.0}),
+            _v2_run("BENCH_20260104", {LABEL: 98.0}),
+        ]
+        verdicts = trend_report.evaluate(runs, build_trends(runs))
+        assert verdicts[0].status == trend_report.OK
+        assert verdicts[0].baseline == 100.0
+
+    def test_single_cpu_sweep_speedup_not_gated(self):
+        sweep = {"identical": True, "speedup": 0.8, "cells": 4, "jobs": 2,
+                 "serial_seconds": 1.0, "parallel_seconds": 1.25,
+                 **bench.sweep_gate_fields(1)}
+        runs = [_v2_run("BENCH_20260101", {LABEL: 100.0}, cpus=1,
+                        sweep=sweep)]
+        verdicts = trend_report.evaluate(
+            runs, build_trends(runs), GatePolicy(min_speedup=1.2)
+        )
+        sweep_verdicts = [v for v in verdicts if v.label == "sweep/speedup"]
+        assert sweep_verdicts[0].status == trend_report.SKIPPED
+        assert "single-CPU" in sweep_verdicts[0].reason
+
+    def test_multi_cpu_sweep_speedup_gated(self):
+        sweep = {"identical": True, "speedup": 0.8, "cells": 4, "jobs": 2,
+                 "serial_seconds": 1.0, "parallel_seconds": 1.25,
+                 **bench.sweep_gate_fields(4)}
+        runs = [_v2_run("BENCH_20260101", {LABEL: 100.0}, sweep=sweep)]
+        verdicts = trend_report.evaluate(
+            runs, build_trends(runs), GatePolicy(min_speedup=1.2)
+        )
+        sweep_verdicts = [v for v in verdicts if v.label == "sweep/speedup"]
+        assert sweep_verdicts[0].status == trend_report.REGRESSION
+
+    def test_sweep_divergence_is_always_a_regression(self):
+        sweep = {"identical": False, "mismatches": ["oltp/private"],
+                 "speedup": 1.5, "cells": 4, "jobs": 2,
+                 "serial_seconds": 1.0, "parallel_seconds": 0.66}
+        runs = [_v2_run("BENCH_20260101", {LABEL: 100.0}, sweep=sweep)]
+        verdicts = trend_report.evaluate(runs, build_trends(runs))
+        assert any(
+            v.label == "sweep/bit-identity"
+            and v.status == trend_report.REGRESSION
+            for v in verdicts
+        )
+
+
+# ---------------------------------------------------------------------------
+# Reports and charts
+
+
+class TestReportRendering:
+    def test_write_report_renders_markdown_and_pngs(self, tmp_path):
+        runs = [
+            _v2_run("BENCH_20260101", {LABEL: 100.0}),
+            _v2_run("BENCH_20260102", {LABEL: 60.0}),
+        ]
+        result = trend_report.write_report(runs, str(tmp_path))
+        assert result.regressions and result.regressions[0].label == LABEL
+        text = open(result.markdown_path, encoding="utf-8").read()
+        assert "| oltp/private/atomic |" in text
+        assert "**regression**" in text
+        assert "1 regression(s)" in text
+        for chart in result.chart_paths:
+            width, height = chartpng.read_png_size(chart)
+            assert width > 0 and height > 0
+        names = {os.path.basename(p) for p in result.chart_paths}
+        assert {"throughput.png", "miss_rate.png"} <= names
+
+    def test_empty_history_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            trend_report.write_report([], str(tmp_path))
+
+
+class TestChartPng:
+    def test_png_roundtrip(self, tmp_path):
+        canvas = chartpng.line_chart(
+            {"a": [(0, 1.0), (1, 2.0), (2, 1.5)],
+             "b": [(0, 3.0), (1, 2.5)]},
+            size=(320, 200),
+        )
+        assert canvas.shape == (200, 320, 3)
+        path = str(tmp_path / "chart.png")
+        chartpng.write_png(path, canvas)
+        assert chartpng.read_png_size(path) == (320, 200)
+        # Both series actually left ink on the canvas.
+        assert (canvas != 255).any(axis=2).sum() > 100
+
+    def test_read_png_size_rejects_non_png(self, tmp_path):
+        path = tmp_path / "not.png"
+        path.write_bytes(b"definitely not a png")
+        with pytest.raises(ValueError):
+            chartpng.read_png_size(str(path))
+
+    def test_format_tick(self):
+        assert chartpng.format_tick(0) == "0"
+        assert chartpng.format_tick(226_000) == "226k"
+        assert chartpng.format_tick(1_500_000) == "1.5M"
+        assert chartpng.format_tick(0.25) == "0.25"
+
+
+# ---------------------------------------------------------------------------
+# Bench satellites
+
+
+class TestBenchSatellites:
+    def test_sweep_gate_fields_single_cpu(self):
+        fields = bench.sweep_gate_fields(1)
+        assert fields["speedup_gate_eligible"] is False
+        assert "single-CPU" in fields["speedup_gate_note"]
+
+    def test_sweep_gate_fields_multi_cpu(self):
+        fields = bench.sweep_gate_fields(8)
+        assert fields["speedup_gate_eligible"] is True
+        assert "speedup_gate_note" not in fields
+
+    def test_default_output_path_collision_safe(self, tmp_path):
+        first = bench.default_output_path("20260101", str(tmp_path))
+        assert os.path.basename(first) == "BENCH_20260101.json"
+        open(first, "w").close()
+        second = bench.default_output_path("20260101", str(tmp_path))
+        assert os.path.basename(second) == "BENCH_20260101-2.json"
+        open(second, "w").close()
+        third = bench.default_output_path("20260101", str(tmp_path))
+        assert os.path.basename(third) == "BENCH_20260101-3.json"
+        # The suffixed names still sort and parse as same-day history.
+        runs = []
+        for path in (first, second):
+            json.dump({"schema": "repro-bench-v1",
+                       "throughput_accesses_per_sec": {"private": 1.0},
+                       "workload": "oltp"}, open(path, "w"))
+        runs = load_history([second, first])
+        assert [r.run_id for r in runs] == [
+            "BENCH_20260101", "BENCH_20260101-2",
+        ]
+
+
+# ---------------------------------------------------------------------------
+# CLI
+
+
+class TestCli:
+    def test_bench_plan_flag_parses(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["bench", "--plan", "plans/default.toml", "--quick"]
+        )
+        assert args.plan == "plans/default.toml"
+        assert args.func.__name__ == "cmd_bench"
+
+    def test_bench_report_subcommand_parses(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["bench", "report", "--history", "a.json", "b.json",
+             "--out-dir", "rpt"]
+        )
+        assert args.func.__name__ == "cmd_bench_report"
+        assert args.history == ["a.json", "b.json"]
+        assert args.out_dir == "rpt"
+
+    def test_legacy_bench_flags_still_parse(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["bench", "--quick", "--jobs", "2",
+             "--baseline", "benchmarks/baseline.json"]
+        )
+        assert args.func.__name__ == "cmd_bench"
+        assert args.plan is None
+
+    def test_malformed_plan_exits_2(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "bad.toml"
+        path.write_text('[plan]\nname = "x"\n[grid]\ndesigns = ["nope"]\n')
+        assert main(["bench", "--plan", str(path)]) == 2
+        assert "nope" in capsys.readouterr().err
+
+    def test_report_without_history_exits_2(self, tmp_path, capsys):
+        from repro.cli import main
+
+        missing = str(tmp_path / "BENCH_*.json")
+        assert main(["bench", "report", "--history", missing,
+                     "--out-dir", str(tmp_path / "rpt")]) == 2
+        assert "no BENCH history" in capsys.readouterr().err
+
+    def test_report_exit_5_names_cells(self, tmp_path, capsys):
+        from repro.cli import main
+
+        healthy = _v2_record({LABEL: 100.0})
+        regressed = _v2_record({LABEL: 65.0})
+        path_a = tmp_path / "BENCH_20260101.json"
+        path_b = tmp_path / "BENCH_20260102.json"
+        path_a.write_text(json.dumps(healthy))
+        path_b.write_text(json.dumps(regressed))
+        code = main([
+            "bench", "report",
+            "--history", str(path_a), str(path_b),
+            "--out-dir", str(tmp_path / "rpt"),
+        ])
+        captured = capsys.readouterr()
+        assert code == bench.REGRESSION_EXIT
+        assert LABEL in captured.err
+        assert os.path.isfile(tmp_path / "rpt" / "trend.md")
+
+
+def _v2_record(throughput):
+    """A raw v2 record dict (what _v2_run parses) for CLI round-trips."""
+    return {
+        "schema": "repro-bench-v2",
+        "environment": {"cpus": 4, "python": "3.11.7"},
+        "accesses_per_core": 2_000,
+        "cells": {
+            label: {
+                "workload": "oltp", "design": label.split("/")[1],
+                "bus_model": "atomic", "multiprogrammed": False,
+                "throughput_accesses_per_sec": value,
+                "miss_rate": 0.2, "fingerprint": "0" * 16,
+            }
+            for label, value in throughput.items()
+        },
+    }
