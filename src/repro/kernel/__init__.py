@@ -1,0 +1,31 @@
+"""Vectorized structure-of-arrays batch kernel (``--engine batch``).
+
+Steps many (workload, design) simulation cells per numpy operation:
+per-cell L1 tag arrays, recency state, and permission bits live in
+structure-of-arrays buffers (:class:`~repro.kernel.soa.L1Pool`), and the
+engine (:mod:`repro.kernel.engine`) executes tag probes, hit/miss
+classification, and recency updates as masked array ops across the
+whole batch, falling back to the scalar design path only for the rare
+events that reach the L2.  Correctness is anchored on
+``SimulationStats.fingerprint()`` identity with the scalar engine.
+"""
+
+from repro.kernel.engine import (
+    ENGINE_ENV,
+    ENGINES,
+    BatchKernel,
+    EventTape,
+    resolve_engine,
+    run_batch,
+)
+from repro.kernel.soa import L1Pool
+
+__all__ = [
+    "ENGINE_ENV",
+    "ENGINES",
+    "BatchKernel",
+    "EventTape",
+    "L1Pool",
+    "resolve_engine",
+    "run_batch",
+]

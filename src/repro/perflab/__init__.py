@@ -29,6 +29,7 @@ from repro.perflab.history import (
     upgrade_record,
 )
 from repro.perflab.plan import (
+    BatchPolicy,
     BenchPlan,
     CapturePolicy,
     GatePolicy,
@@ -57,6 +58,7 @@ from repro.perflab.runner import (
 )
 
 __all__ = [
+    "BatchPolicy",
     "BenchPlan",
     "BenchRun",
     "CapturePolicy",

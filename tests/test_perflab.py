@@ -521,6 +521,74 @@ class TestBenchSatellites:
         ]
 
 
+def _engine_run(run_id, throughput, engine=None):
+    run = _v2_run(run_id, throughput)
+    if engine is not None:
+        run.environment["engine"] = engine
+    return run
+
+
+class TestEngineAlignment:
+    """Same-day batch-vs-scalar runs must not mix paths or baselines."""
+
+    def test_env_key_distinguishes_batch_engine(self):
+        scalar = {"cpus": 4, "python": "3.11.7"}
+        assert env_key({**scalar, "engine": "batch"}) == (
+            "cpus=4/py=3.11/engine=batch"
+        )
+        # Scalar and pre-engine records keep the historical key, so the
+        # accumulated BENCH history keeps aligning unchanged.
+        assert env_key({**scalar, "engine": "scalar"}) == "cpus=4/py=3.11"
+        assert env_key(scalar) == "cpus=4/py=3.11"
+        assert env_key({**scalar, "engine": None}) == "cpus=4/py=3.11"
+
+    def test_environment_fingerprint_same_day_engines_stay_distinct(
+            self, tmp_path):
+        """The scalar-then-batch same-day workflow end to end.
+
+        Both runs land on the same date: the second gets a collision
+        suffix (distinct run_id), and the engine-aware env key keeps
+        the pair in separate baseline groups.
+        """
+        scalar_path = bench.default_output_path("20260809", str(tmp_path))
+        open(scalar_path, "w").close()
+        batch_path = bench.default_output_path("20260809", str(tmp_path))
+        assert os.path.basename(batch_path) == "BENCH_20260809-2.json"
+
+        environment = environment_fingerprint()
+        scalar_env = dict(environment, engine="scalar")
+        batch_env = dict(environment, engine="batch")
+        assert env_key(scalar_env) == env_key(environment)
+        assert env_key(batch_env) != env_key(scalar_env)
+        assert env_key(batch_env).endswith("/engine=batch")
+
+    def test_batch_run_never_gates_against_scalar_baseline(self):
+        """A slow batch run after fast scalar history must SKIP, not FAIL."""
+        runs = [
+            _engine_run(f"BENCH_202601{i:02d}", {LABEL: 100.0})
+            for i in range(1, 5)
+        ]
+        runs.append(
+            _engine_run("BENCH_20260105", {LABEL: 10.0}, engine="batch")
+        )
+        verdicts = trend_report.evaluate(runs, build_trends(runs))
+        assert [v.status for v in verdicts] == [trend_report.SKIPPED]
+        assert "no comparable history" in verdicts[0].reason
+
+    def test_batch_runs_form_their_own_rolling_baseline(self):
+        """Batch history gates batch runs: a real drop still fails."""
+        runs = [
+            _engine_run(f"BENCH_202601{i:02d}", {LABEL: 200.0},
+                        engine="batch")
+            for i in range(1, 5)
+        ]
+        runs.append(
+            _engine_run("BENCH_20260105", {LABEL: 100.0}, engine="batch")
+        )
+        verdicts = trend_report.evaluate(runs, build_trends(runs))
+        assert [v.status for v in verdicts] == [trend_report.REGRESSION]
+
+
 # ---------------------------------------------------------------------------
 # CLI
 
