@@ -113,8 +113,12 @@ class PrivateCaches(L2Design):
         super().reset_stats()
         self.reuse = ReuseStats()
         self.counters = PrivateCacheCounters()
-        self.bus.stats = type(self.bus.stats)()
-        self.bus._busy_until = 0
+        reset = getattr(self.bus, "reset_stats", None)
+        if reset is not None:  # mesh backend: also clears hop counters
+            reset()
+        else:
+            self.bus.stats = type(self.bus.stats)()
+            self.bus._busy_until = 0
 
     def _access(self, access: Access) -> AccessResult:
         controller = self.controllers[access.core]
@@ -182,6 +186,12 @@ class PrivateCaches(L2Design):
                 self.reuse.record_ros_replacement(victim.reuse)
             self._invalidate_l1(access.core, evicted)
             self._touch(address=evicted)
+            # The snoopy bus never hears clean replacements; the mesh
+            # backend's directory must (a stale sharer vector would
+            # over-approximate forever), so send it a replacement hint.
+            hint = getattr(self.bus, "note_eviction", None)
+            if hint is not None:
+                hint(access.core, evicted)
         if access.is_write:
             state = CoherenceState.MODIFIED
         elif shared_copy_exists:
@@ -238,7 +248,14 @@ class PrivateCaches(L2Design):
         self.controllers = [
             _PrivateController(self, core) for core in range(self.num_cores)
         ]
+        # Restore the bus/NoC *before* re-attaching: a mesh snapshot may
+        # carry a different tile count than the freshly built default,
+        # and its load resizes the topology the attach range-checks
+        # against.
         self.bus._snoopers = []
+        self.bus.load_state_dict(
+            serialization.require(state, "bus", path), f"{path}.bus"
+        )
         for core, controller in enumerate(self.controllers):
             self.bus.attach(core, controller)
         for i, (controller, array_state) in enumerate(
@@ -247,9 +264,6 @@ class PrivateCaches(L2Design):
             controller.array.load_state_dict(
                 array_state, f"{path}.controllers[{i}]"
             )
-        self.bus.load_state_dict(
-            serialization.require(state, "bus", path), f"{path}.bus"
-        )
         self.reuse.load_state_dict(
             serialization.require(state, "reuse", path), f"{path}.reuse"
         )
@@ -258,6 +272,19 @@ class PrivateCaches(L2Design):
             serialization.require(state, "counters", path),
             f"{path}.counters",
         )
+        from repro.interconnect.mesh import mesh_noc
+
+        noc = mesh_noc(self)
+        if noc is not None:
+            # The directory's sharer vectors are derived state: rebuild
+            # them from the restored arrays so the directory-vs-tags
+            # invariant holds by construction after a resume.
+            holders: "dict[int, int]" = {}
+            for core, controller in enumerate(self.controllers):
+                for set_index, _way, entry in controller.array.valid_entries():
+                    address = controller.array.block_address(set_index, entry)
+                    holders[address] = holders.get(address, 0) | (1 << core)
+            noc.directory.rebuild(holders)
 
 
 class UpdateProtocolCaches(PrivateCaches):

@@ -263,6 +263,12 @@ def _resolve_engine_arg(args):
 
 def _validate_batch_run_args(args) -> None:
     """The batch engine runs fault-free and uninstrumented only."""
+    if resolve_bus_model(getattr(args, "bus_model", None)) == "mesh":
+        raise CliError(
+            "--engine batch supports the atomic and eventq bus models "
+            "only; the mesh NoC is a scalar-engine backend — drop "
+            "'--bus-model mesh' or use '--engine scalar'"
+        )
     if _harness_active(args):
         raise CliError(
             "--engine batch supports fault-free runs only; drop the "
@@ -588,6 +594,29 @@ def cmd_experiment(args) -> int:
                     parallel.quarantine_path(args.cache) if args.cache else None
                 )
                 raise QuarantinedCellError(report.quarantined, journal)
+    if name == "scale":
+        from repro.experiments import scale
+
+        if engine == "batch":
+            raise CliError(
+                "experiment scale runs on the mesh NoC, which the batch "
+                "engine does not model; drop --engine batch"
+            )
+        cores = tuple(args.cores) if args.cores else scale.DEFAULT_CORES
+        for count in cores:
+            if count not in scale.SUPPORTED_CORES:
+                raise CliError(
+                    f"--cores {count} is unsupported; the mesh scales to "
+                    f"{', '.join(str(n) for n in scale.SUPPORTED_CORES)}"
+                )
+        result = scale.run(
+            config, cache=cache, cores=cores, jobs=jobs,
+            cell_timeout=cell_timeout, max_retries=max_retries,
+        )
+        print(result.report.render())
+        print()
+        print(scale.render_full(result))
+        return 0
     if name == "energy":
         print(energy_report.run(config).report.render())
         return 0
@@ -617,7 +646,7 @@ def cmd_experiment(args) -> int:
         set(suite.EXPERIMENTS)
         | set(ablations.ALL_ABLATIONS)
         | set(sensitivity.ALL_SENSITIVITIES)
-        | {"energy", "smp-contrast", "all"}
+        | {"energy", "smp-contrast", "scale", "all"}
     )
     print(f"unknown experiment {name!r}; choose from: {', '.join(known)}", file=sys.stderr)
     return 2
@@ -1110,9 +1139,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiment_parser.add_argument(
         "name",
-        help="table1, fig5..fig12, an ablation name, 'energy', or 'all'",
+        help="table1, fig5..fig12, an ablation name, 'energy', "
+        "'scale', or 'all'",
     )
     experiment_parser.add_argument("--quick", action="store_true")
+    experiment_parser.add_argument(
+        "--cores",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="N",
+        help="core counts for 'experiment scale' (default: 8 16; "
+        "64 is supported but slow); each N-core cell runs on the "
+        "2D-mesh NoC with directory coherence",
+    )
     experiment_parser.add_argument(
         "--cache",
         metavar="PATH",

@@ -103,6 +103,12 @@ class NurapidCache(L2Design):
     race_delay_repl = False
     #: Human-readable description of the last delayed BusRepl race.
     last_race = None
+    #: Mesh NoC set by :func:`repro.interconnect.mesh.attach_mesh`
+    #: (``--bus-model mesh``); None under the bus backends.  When
+    #: attached, sharer enumeration routes through its directory, the
+    #: tag install/invalidate chokepoints keep the sharer vectors
+    #: current, and invalidations deliver as hop-timed mesh messages.
+    noc = None
 
     def __init__(
         self,
@@ -145,6 +151,8 @@ class NurapidCache(L2Design):
         self.dgroup_stats = DgroupStats()
         self.bus_stats = BusStats()
         self.counters = NurapidCounters()
+        if self.noc is not None:
+            self.noc.reset_stats()
 
     # ------------------------------------------------------------------
     # Small helpers
@@ -158,6 +166,11 @@ class NurapidCache(L2Design):
         address: "Optional[int]" = None,
     ) -> None:
         self.bus_stats.record(op.value)
+        if self.noc is not None and address is not None:
+            # MESIC runs over the private tag arrays, not through
+            # ``MeshNoC.issue``; report the transaction so request/
+            # forward/response hops are still accounted on the mesh.
+            self.noc.record_protocol_message(core, address)
         if self.tracer.enabled:
             self.tracer.emit(
                 ev.BUS, cycle=self.current_time, core=core, address=address,
@@ -178,6 +191,17 @@ class NurapidCache(L2Design):
         return self.crossbar.access(core, dgroup, now=self.current_time)
 
     def _sharers(self, address: int) -> "Iterator[tuple[int, NurapidTagEntry]]":
+        if self.noc is not None:
+            # Directory-filtered enumeration: visit only the recorded
+            # holders (ascending core order matches the broadcast scan).
+            # The lookup guard keeps an over-approximating vector
+            # harmless — a recorded non-holder yields nothing, exactly
+            # like a snooped agent without a copy.
+            for core in self.noc.directory.holders(address):
+                entry = self.tags[core].lookup(address, touch=False)
+                if entry is not None:
+                    yield core, entry
+            return
         for core in range(self.num_cores):
             entry = self.tags[core].lookup(address, touch=False)
             if entry is not None:
@@ -201,6 +225,8 @@ class NurapidCache(L2Design):
         if self.tracer.enabled and entry.state is not I:
             self._trace_transition(core, address, entry.state, I, trigger)
         entry.invalidate()
+        if self.noc is not None:
+            self.noc.directory.discard(address, core)
         self._invalidate_l1(core, address)
         self._touch(address=address)
 
@@ -257,6 +283,20 @@ class NurapidCache(L2Design):
                     (address, ptr), label="bus-repl-late",
                     track="nurapid-repl",
                 )
+            elif self.noc is not None and self.queue is not None:
+                # Mesh backend: BusRepl invalidations are hop-timed
+                # forwards from the home bank (drained before the frame
+                # is freed below, same as the broadcast's sweep).
+                self._forward_invalidations(
+                    address,
+                    [
+                        (core, self._deliver_repl_invalidation,
+                         (core, address, ptr))
+                        for core, entry in list(self._sharers(address))
+                        if entry.fwd == ptr and not entry.busy
+                    ],
+                    label="mesh-repl",
+                )
             else:
                 for core, entry in list(self._sharers(address)):
                     if entry.fwd == ptr and not entry.busy:
@@ -273,6 +313,14 @@ class NurapidCache(L2Design):
         for core, entry in list(self._sharers(address)):
             if entry.fwd == ptr and not entry.busy:
                 self._invalidate_tag(core, entry, address, trigger="BusRepl-late")
+
+    def _deliver_repl_invalidation(
+        self, core: int, address: int, ptr: FramePtr
+    ) -> None:
+        """Mesh delivery of one BusRepl invalidation forward."""
+        entry = self.tags[core].lookup(address, touch=False)
+        if entry is not None and entry.fwd == ptr and not entry.busy:
+            self._invalidate_tag(core, entry, address, trigger="BusRepl")
 
     def _move_block(self, src: FramePtr, dst: FramePtr) -> None:
         """Move a block between frames, fixing the owner's forward pointer."""
@@ -519,23 +567,100 @@ class NurapidCache(L2Design):
         sharer, ownership transfers (the reverse pointer is rewritten)
         instead of freeing the frame under the survivor's feet.
         """
+        victims = [
+            (core, entry)
+            for core, entry in list(self._sharers(address))
+            if core != keep_core
+        ]
+        if self.noc is not None and self.queue is not None and victims:
+            # Mesh backend: the invalidations travel as hop-timed
+            # forward messages from the home directory bank and are
+            # drained before this call returns.  Per-victim handling is
+            # order-independent (each victim touches only its own tag,
+            # its own L1, and — as owner — its own frame; ownership
+            # transfer rewrites the reverse pointer to the survivor,
+            # which no other victim examines), so delivery by hop
+            # distance leaves the final state identical to the bus's
+            # ascending-core sweep.
+            self._forward_invalidations(
+                address,
+                [
+                    (core, self._deliver_invalidation,
+                     (core, address, keep_core, keep_entry is not None))
+                    for core, _entry in victims
+                ],
+                label="mesh-inval",
+            )
+            return
+        for core, entry in victims:
+            self._invalidate_one_sharer(core, entry, address, keep_core, keep_entry)
+
+    def _invalidate_one_sharer(
+        self,
+        core: int,
+        entry: NurapidTagEntry,
+        address: int,
+        keep_core: int,
+        keep_entry: "Optional[NurapidTagEntry]",
+    ) -> None:
+        """Invalidate one dying sharer, freeing or transferring its frame."""
         keep_ptr = keep_entry.fwd if keep_entry is not None else None
-        for core, entry in list(self._sharers(address)):
-            if core == keep_core:
-                continue
-            fwd = entry.fwd
-            if fwd is not None:
-                frame = self.data.frame(fwd)
-                tag_ptr = self.tags[core].ptr_of(address, entry)
-                if frame.rev == tag_ptr:  # this sharer owns its frame
-                    if keep_ptr == fwd and keep_entry is not None:
-                        frame.rev = self.tags[keep_core].ptr_of(address, keep_entry)
-                    else:
-                        if frame.dirty:
-                            self.counters.writebacks += 1
-                        self.data.free(fwd)
-                self._touch(frame=fwd)
-            self._invalidate_tag(core, entry, address)
+        fwd = entry.fwd
+        if fwd is not None:
+            frame = self.data.frame(fwd)
+            tag_ptr = self.tags[core].ptr_of(address, entry)
+            if frame.rev == tag_ptr:  # this sharer owns its frame
+                if keep_ptr == fwd and keep_entry is not None:
+                    frame.rev = self.tags[keep_core].ptr_of(address, keep_entry)
+                else:
+                    if frame.dirty:
+                        self.counters.writebacks += 1
+                    self.data.free(fwd)
+            self._touch(frame=fwd)
+        self._invalidate_tag(core, entry, address)
+
+    def _deliver_invalidation(
+        self, core: int, address: int, keep_core: int, keep_valid: bool
+    ) -> None:
+        """Mesh delivery of one invalidation (args picklable by design)."""
+        entry = self.tags[core].lookup(address, touch=False)
+        if entry is None:
+            return
+        keep_entry = (
+            self.tags[keep_core].lookup(address, touch=False)
+            if keep_valid else None
+        )
+        self._invalidate_one_sharer(core, entry, address, keep_core, keep_entry)
+
+    def _forward_invalidations(
+        self,
+        address: int,
+        deliveries: "list[tuple[int, object, tuple]]",
+        label: str,
+    ) -> None:
+        """Schedule invalidation forwards on the event queue and drain.
+
+        Each delivery rides the mesh from the block's home directory
+        bank to its target core (the forward leg of the transaction;
+        the request leg is accounted by ``_record_bus``).  Everything
+        fires inside this call — no mesh event is ever pending at a
+        checkpoint boundary.
+        """
+        noc = self.noc
+        queue = self.queue
+        base = max(self.current_time, queue.now)
+        home = noc.directory.home(address)
+        last = base
+        for core, action, args in deliveries:
+            time = (
+                base + noc.router_latency
+                + noc.hop_latency * noc.topology.hops(home, core)
+            )
+            last = max(last, time)
+            queue.at(
+                time, action, args, label=label, track=("nurapid-inval", core)
+            )
+        queue.run_until(last)
 
     # ------------------------------------------------------------------
     # Hit handling
@@ -672,6 +797,8 @@ class NurapidCache(L2Design):
         fill_class: MissClass,
     ) -> NurapidTagEntry:
         self.tags[core].install(victim, address, state, fwd)
+        if self.noc is not None:
+            self.noc.directory.add(address, core)
         victim.fill_class = fill_class
         self._touch(address=address)
         if self.tracer.enabled:
@@ -928,6 +1055,11 @@ class NurapidCache(L2Design):
             race_delay_repl=bool(self.race_delay_repl),
             last_race=self.last_race,
         )
+        if self.noc is not None:
+            # Counters and geometry only; the directory's sharer
+            # vectors are derived state, rebuilt from the tag arrays on
+            # load (see ``_rebuild_directory``).
+            state["noc"] = self.noc.state_dict()
         return state
 
     def load_state_dict(self, state: dict, path: str = "design") -> None:
@@ -983,6 +1115,26 @@ class NurapidCache(L2Design):
         }
         self.race_delay_repl = bool(require(state, "race_delay_repl", path))
         self.last_race = state.get("last_race")
+        if self.noc is not None:
+            noc_state = state.get("noc")
+            if noc_state is not None:
+                # Resizes the topology/directory when the snapshot's
+                # tile count differs from the freshly built default.
+                self.noc.load_state_dict(noc_state, f"{path}.noc")
+            self._rebuild_directory()
+
+    def _rebuild_directory(self) -> None:
+        """Recompute the mesh directory's vectors from the tag arrays.
+
+        Runs after every state restore, making the directory-vs-tags
+        consistency invariant hold by construction on resume.
+        """
+        holders: "dict[int, int]" = {}
+        for core, tag_array in enumerate(self.tags):
+            for set_index, _way, entry in tag_array.array.valid_entries():
+                address = tag_array.array.block_address(set_index, entry)
+                holders[address] = holders.get(address, 0) | (1 << core)
+        self.noc.directory.rebuild(holders)
 
     # ------------------------------------------------------------------
     # Entry point and invariants

@@ -23,6 +23,7 @@ streams, interleaving cores round-robin, and returns the
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Iterable, Optional
 
 from repro.caches.design import L2Design
@@ -74,7 +75,14 @@ class CmpSystem:
         tracer: "Tracer | NullTracer | None" = None,
         metrics: "Optional[MetricsCollector]" = None,
     ) -> None:
-        self.params = params or SystemParams()
+        if params is None:
+            # Size the CMP from the design: an 8/16/64-core design gets
+            # matching cores and L1s without callers threading params.
+            params = SystemParams()
+            design_cores = getattr(design, "num_cores", 0) or 0
+            if design_cores and design_cores != params.num_cores:
+                params = replace(params, num_cores=design_cores)
+        self.params = params
         self.design = design
         self.l1s = [L1Cache(self.params.l1) for _ in range(self.params.num_cores)]
         self.cores = [
@@ -343,6 +351,10 @@ class CmpSystem:
             InOrderCore(i, self.params.l1.latency)
             for i in range(self.params.num_cores)
         ]
+        self._peers = tuple(
+            tuple(c for c in range(self.params.num_cores) if c != i)
+            for i in range(self.params.num_cores)
+        )
         for i, (core, core_state) in enumerate(zip(self.cores, cores)):
             core.load_state_dict(core_state, f"system.cores[{i}]")
         for i, (l1, l1_state) in enumerate(zip(self.l1s, l1s)):

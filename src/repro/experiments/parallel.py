@@ -137,19 +137,29 @@ _EXIT_CELL_FAILED = 21
 
 @dataclass(frozen=True)
 class Cell:
-    """One sweep cell: a single (workload, design) simulation."""
+    """One sweep cell: a single (workload, design) simulation.
+
+    ``num_cores`` != 0 scales the cell to an N-core machine (the scale
+    experiment's 8/16/64-core mesh grid); 0 is the paper's 4-core
+    configuration and leaves keys and labels exactly as before.
+    """
 
     workload: str
     design: str
     multiprogrammed: bool = False
+    num_cores: int = 0
 
     @property
     def label(self) -> str:
-        return f"{self.workload}/{self.design}"
+        base = f"{self.workload}/{self.design}"
+        return f"{base}@c{self.num_cores}" if self.num_cores else base
 
     def key(self, config: ExperimentConfig) -> tuple:
         """The cell's :class:`StatsCache` key under ``config``."""
-        return (self.workload, self.design, config, self.multiprogrammed)
+        return StatsCache.scaled_key(
+            self.workload, self.design, config,
+            self.multiprogrammed, self.num_cores,
+        )
 
     def keys(self, config: ExperimentConfig) -> "Tuple[tuple, ...]":
         """Every cache key this unit of work must deliver."""
@@ -305,6 +315,7 @@ class QuarantineRecord:
             "workload": self.cell.workload,
             "design": self.cell.design,
             "multiprogrammed": self.cell.multiprogrammed,
+            "num_cores": getattr(self.cell, "num_cores", 0),
             "attempts": self.attempts,
             "failures": [
                 {
@@ -516,9 +527,17 @@ def _simulate_cell(
                     ],
                 )
         return cell, results
-    design = build_design(cell.design, bus_model=bus_model)
-    run = run_mix if cell.multiprogrammed else run_multithreaded
-    _, stats = run(design, cell.workload, config)
+    design = build_design(
+        cell.design, bus_model=bus_model,
+        num_cores=cell.num_cores or None,
+    )
+    if cell.multiprogrammed:
+        _, stats = run_mix(design, cell.workload, config)
+    else:
+        _, stats = run_multithreaded(
+            design, cell.workload, config,
+            num_cores=cell.num_cores or None,
+        )
     if shard_base is not None:
         StatsCache.append_record(
             f"{shard_base}.shard.{os.getpid()}", cell.key(config), stats
@@ -1007,9 +1026,11 @@ def _run_serially(cell: Cell, config: ExperimentConfig,
     cache.get(
         cell.workload,
         cell.design,
-        lambda: build_design(cell.design, bus_model=bus_model),
+        lambda: build_design(cell.design, bus_model=bus_model,
+                             num_cores=cell.num_cores or None),
         config,
         cell.multiprogrammed,
+        num_cores=cell.num_cores,
     )
 
 
@@ -1023,6 +1044,12 @@ def _batch_units(cells: "Sequence[Cell]") -> "List[BatchUnit]":
     """
     groups: "Dict[Tuple[str, bool], List[Cell]]" = {}
     for cell in cells:
+        if cell.num_cores:
+            raise ValueError(
+                f"cell {cell.label} is scaled to {cell.num_cores} cores; "
+                "the batch kernel models the paper's 4-core machine only "
+                "— use the scalar engine for scaled sweeps"
+            )
         groups.setdefault((cell.workload, cell.multiprogrammed), []).append(cell)
     return [BatchUnit(tuple(members)) for members in groups.values()]
 

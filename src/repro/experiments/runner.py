@@ -56,11 +56,20 @@ DESIGN_FACTORIES: "Dict[str, Callable[[], L2Design]]" = {
     "cmp-nurapid": NurapidCache,
     "cmp-nurapid-cr": lambda: NurapidCache(enable_cr=True, enable_isc=False),
     "cmp-nurapid-isc": lambda: NurapidCache(enable_cr=False, enable_isc=True),
+    "cmp-nurapid-cs": lambda: NurapidCache(enable_cr=False, enable_isc=False),
+}
+
+#: Which CR/ISC flags each CMP-NuRAPID registry variant isolates.
+_NURAPID_VARIANTS = {
+    "cmp-nurapid": (True, True),
+    "cmp-nurapid-cr": (True, False),
+    "cmp-nurapid-isc": (False, True),
+    "cmp-nurapid-cs": (False, False),
 }
 
 
 #: Recognized interconnect backends (``--bus-model`` / REPRO_BUS_MODEL).
-BUS_MODELS = ("atomic", "eventq")
+BUS_MODELS = ("atomic", "eventq", "mesh")
 
 
 def resolve_bus_model(bus_model: "Optional[str]" = None) -> str:
@@ -74,28 +83,90 @@ def resolve_bus_model(bus_model: "Optional[str]" = None) -> str:
     return bus_model
 
 
+def _build_scaled(name: str, num_cores: int, bus_model: str) -> L2Design:
+    """Instantiate ``name`` for an ``num_cores``-tile machine.
+
+    The registry factories bake in the paper's 4-core configuration;
+    scaling rebuilds the parameterized designs with one core, one L2
+    bank/d-group, and (under the mesh) one directory bank per tile.
+    Per-core capacity is held constant, so the machine grows the way
+    the private baseline does.  CMP-SNUCA's bank latency model is
+    4-core-specific and refuses to scale rather than extrapolate.
+    """
+    if name == "private":
+        return PrivateCaches(num_cores=num_cores)
+    if name in _NURAPID_VARIANTS:
+        from repro.common.params import NurapidParams
+        from repro.latency.tables import (
+            mesh_dgroup_latencies,
+            mesh_dgroup_preferences,
+        )
+
+        enable_cr, enable_isc = _NURAPID_VARIANTS[name]
+        if bus_model == "mesh":
+            params = NurapidParams(
+                num_cores=num_cores,
+                num_dgroups=num_cores,
+                dgroup_latencies=mesh_dgroup_latencies(num_cores),
+            )
+            preferences = mesh_dgroup_preferences(num_cores)
+        else:
+            params = NurapidParams(num_cores=num_cores, num_dgroups=num_cores)
+            preferences = None
+        return NurapidCache(
+            params=params, enable_cr=enable_cr, enable_isc=enable_isc,
+            preferences=preferences,
+        )
+    if name in ("uniform-shared", "ideal"):
+        # Core count lives in the system, not these designs.
+        return DESIGN_FACTORIES[name]()
+    raise ValueError(
+        f"design {name!r} does not support num_cores={num_cores}; "
+        "scalable designs: private, uniform-shared, ideal, and the "
+        "cmp-nurapid family"
+    )
+
+
 def build_design(
-    name: str, bus_model: "Optional[str]" = None, **kwargs
+    name: str,
+    bus_model: "Optional[str]" = None,
+    num_cores: "Optional[int]" = None,
+    **kwargs,
 ) -> L2Design:
     """Instantiate a design by its paper name.
 
     ``bus_model`` selects the interconnect backend: ``"atomic"`` (the
-    synchronous default) or ``"eventq"`` (split-phase transactions on a
-    discrete-event queue — bit-identical at zero occupancy).  None
+    synchronous default), ``"eventq"`` (split-phase transactions on a
+    discrete-event queue — bit-identical at zero occupancy), or
+    ``"mesh"`` (2D mesh NoC + directory coherence, bit-identical to the
+    bus at 4 cores and zero occupancy — the backend that scales).  None
     defers to the ``REPRO_BUS_MODEL`` environment variable, so CI can
-    run whole suites under the event-queue backend unchanged.
+    run whole suites under an alternate backend unchanged.
+
+    ``num_cores`` scales the parameterized designs to an N-tile machine
+    (4/8/16/64 for square-ish meshes); None keeps the paper's 4-core
+    configuration.  Pair with ``SystemParams(num_cores=N)`` when
+    building the system.
     """
-    try:
-        factory = DESIGN_FACTORIES[name]
-    except KeyError:
+    resolved = resolve_bus_model(bus_model)
+    if name not in DESIGN_FACTORIES:
         raise KeyError(
             f"unknown design {name!r}; choose from {sorted(DESIGN_FACTORIES)}"
-        ) from None
-    design = factory(**kwargs)
-    if resolve_bus_model(bus_model) == "eventq":
+        )
+    from repro.common.params import DEFAULT_NUM_CORES
+
+    if num_cores is not None and num_cores != DEFAULT_NUM_CORES:
+        design = _build_scaled(name, num_cores, resolved)
+    else:
+        design = DESIGN_FACTORIES[name](**kwargs)
+    if resolved == "eventq":
         from repro.interconnect.eventq import attach_eventq
 
         attach_eventq(design)
+    elif resolved == "mesh":
+        from repro.interconnect.mesh import attach_mesh
+
+        attach_mesh(design)
     return design
 
 
@@ -118,10 +189,20 @@ def run_multithreaded(
     design: L2Design,
     workload_name: str,
     config: "ExperimentConfig | None" = None,
+    num_cores: "Optional[int]" = None,
 ) -> "tuple[CmpSystem, SimulationStats]":
-    """Run one design on one Table 3 workload."""
+    """Run one design on one Table 3 workload.
+
+    ``num_cores`` scales the workload to an N-core machine (the design
+    must have been built with the matching ``build_design(...,
+    num_cores=N)``); None keeps the paper's 4 cores.
+    """
     config = config or ExperimentConfig()
-    workload = make_workload(workload_name, seed=config.seed)
+    if num_cores is not None:
+        workload = make_workload(workload_name, num_cores=num_cores,
+                                 seed=config.seed)
+    else:
+        workload = make_workload(workload_name, seed=config.seed)
     total = config.warmup_per_core + config.measure_per_core
     events = workload.events(accesses_per_core=total)
     warmup_events = config.warmup_per_core * workload.num_cores
@@ -436,6 +517,16 @@ class StatsCache:
     def __contains__(self, key: tuple) -> bool:
         return key in self._cache
 
+    def peek(self, key: tuple) -> "Optional[SimulationStats]":
+        """The cached stats for ``key``, or None — never simulates.
+
+        Callers that run cells through their own machinery (the scale
+        experiment's harnessed path) read with ``peek`` and record with
+        :meth:`insert`, so ``get``'s plain-runner fallback never fires
+        for them.
+        """
+        return self._cache.get(key)
+
     def insert(self, key: tuple, stats: SimulationStats) -> bool:
         """Record an externally computed run (the parallel merge path).
 
@@ -451,6 +542,24 @@ class StatsCache:
         self._append(key, stats)
         return True
 
+    @staticmethod
+    def scaled_key(
+        workload: str,
+        design_key: str,
+        config: ExperimentConfig,
+        multiprogrammed: bool = False,
+        num_cores: int = 0,
+    ) -> tuple:
+        """The journal key for one run, core-count qualified.
+
+        Scaled runs embed the core count in the workload slot
+        (``"oltp@c16"``) so the key keeps the 4-tuple shape every
+        journal record, shard merger, and legacy cache already uses —
+        4-core keys are unchanged.
+        """
+        label = f"{workload}@c{num_cores}" if num_cores else workload
+        return (label, design_key, config, multiprogrammed)
+
     def get(
         self,
         workload: str,
@@ -458,11 +567,24 @@ class StatsCache:
         factory: "Callable[[], L2Design]",
         config: ExperimentConfig,
         multiprogrammed: bool = False,
+        num_cores: int = 0,
     ) -> SimulationStats:
-        key = (workload, design_key, config, multiprogrammed)
+        key = self.scaled_key(
+            workload, design_key, config, multiprogrammed, num_cores
+        )
         if key not in self._cache:
-            runner = run_mix if multiprogrammed else run_multithreaded
-            _, stats = runner(factory(), workload, config)
+            if multiprogrammed:
+                if num_cores:
+                    raise ValueError(
+                        "multiprogrammed mixes are 4-core by construction; "
+                        "num_cores only scales multithreaded workloads"
+                    )
+                _, stats = run_mix(factory(), workload, config)
+            else:
+                _, stats = run_multithreaded(
+                    factory(), workload, config,
+                    num_cores=num_cores or None,
+                )
             self._cache[key] = stats
             self._append(key, stats)
         return self._cache[key]

@@ -110,7 +110,19 @@ def _action_owners(system) -> "Dict[str, Any]":
     crossbar = getattr(design, "crossbar", None)
     if crossbar is not None:
         owners["crossbar"] = crossbar
+    noc = getattr(design, "noc", None)
+    if noc is not None:
+        owners["noc"] = noc
     return owners
+
+
+def _bus_model_of(design, queue) -> str:
+    """The envelope's interconnect backend tag for ``design``."""
+    from repro.interconnect.mesh import mesh_noc
+
+    if mesh_noc(design) is not None:
+        return "mesh"
+    return "eventq" if queue is not None else "atomic"
 
 
 def _encode_action(system, event) -> "Tuple[str, str]":
@@ -340,7 +352,7 @@ def _migrate_v1(payload: "Dict[str, Any]") -> "Dict[str, Any]":
         "magic": _MAGIC,
         "version": 2,
         "design": meta.get("design") or design.name,
-        "bus_model": "eventq" if queue is not None else "atomic",
+        "bus_model": _bus_model_of(design, queue),
         "seed": meta.get("seed"),
         "event_index": payload.get("event_index", 0),
         "meta": meta,
@@ -406,7 +418,7 @@ def save_checkpoint(
         "magic": _MAGIC,
         "version": FORMAT_VERSION,
         "design": meta.get("design") or getattr(design, "name", None),
-        "bus_model": "eventq" if queue is not None else "atomic",
+        "bus_model": _bus_model_of(design, queue),
         "seed": meta.get("seed"),
         "event_index": event_index,
         "meta": meta,

@@ -298,6 +298,116 @@ def _check_shared_array(
 
 
 # ----------------------------------------------------------------------
+# Mesh directory consistency
+
+def _true_holder_masks(design) -> "Optional[dict[int, int]]":
+    """Per-block bitmask of cores actually holding a tag copy.
+
+    Computed by scanning the coherence-relevant arrays directly (never
+    through the directory — this is what the directory is audited
+    against).  Returns None for designs with no per-core copies, whose
+    directory stays empty by construction.
+    """
+    holders: "dict[int, int]" = {}
+    if isinstance(design, NurapidCache):
+        arrays = [tag.array for tag in design.tags]
+    elif isinstance(design, PrivateCaches):
+        arrays = [controller.array for controller in design.controllers]
+    else:
+        return None
+    for core, array in enumerate(arrays):
+        for set_index, _way, entry in array.valid_entries():
+            address = array.block_address(set_index, entry)
+            holders[address] = holders.get(address, 0) | (1 << core)
+    return holders
+
+
+def _true_holder_mask(design, address: int) -> "Optional[int]":
+    """Bitmask of cores holding ``address`` (single-block variant)."""
+    if isinstance(design, NurapidCache):
+        lookups = [tags.lookup for tags in design.tags]
+    elif isinstance(design, PrivateCaches):
+        lookups = [controller.array.lookup for controller in design.controllers]
+    else:
+        return None
+    mask = 0
+    for core, lookup in enumerate(lookups):
+        if lookup(address, touch=False) is not None:
+            mask |= 1 << core
+    return mask
+
+
+def _mask_cores(mask: int) -> "list[int]":
+    cores = []
+    core = 0
+    while mask:
+        if mask & 1:
+            cores.append(core)
+        mask >>= 1
+        core += 1
+    return cores
+
+
+def _directory_violation(
+    address: int, recorded: int, actual: int,
+    access_index: "Optional[int]",
+) -> InvariantViolation:
+    return InvariantViolation(
+        "directory",
+        "sharer vector disagrees with the tag arrays",
+        access_index=access_index,
+        address=address,
+        cores=_mask_cores(recorded | actual),
+        details=(
+            f"recorded={_mask_cores(recorded)} actual={_mask_cores(actual)}"
+        ),
+    )
+
+
+def check_directory(
+    design, noc, access_index: "Optional[int]" = None
+) -> None:
+    """Directory-vs-tag-array consistency for the mesh backend.
+
+    Every recorded sharer must actually hold a tag copy and every tag
+    copy must be recorded — the exactness that makes directory-filtered
+    forwarding trajectory-identical to a snoopy broadcast (the 4-core
+    equivalence argument, DESIGN.md section 14).
+    """
+    actual = _true_holder_masks(design)
+    if actual is None:
+        return
+    recorded: "dict[int, int]" = {}
+    for _tile, address, mask in noc.directory.entries():
+        recorded[address] = mask
+    for address in set(recorded) | set(actual):
+        if recorded.get(address, 0) != actual.get(address, 0):
+            raise _directory_violation(
+                address, recorded.get(address, 0), actual.get(address, 0),
+                access_index,
+            )
+
+
+def _check_directory_address(
+    design, noc, address: int, access_index: "Optional[int]"
+) -> None:
+    actual = _true_holder_mask(design, address)
+    if actual is None:
+        return
+    recorded = noc.directory.mask(address)
+    if recorded != actual:
+        raise _directory_violation(address, recorded, actual, access_index)
+
+
+def _design_noc(design):
+    """The design's mesh NoC, if one is attached (lazy import: the
+    design modules must stay importable without the harness)."""
+    from repro.interconnect.mesh import mesh_noc
+
+    return mesh_noc(design)
+
+
+# ----------------------------------------------------------------------
 # L1 inclusion
 
 def design_contains(design, core: int, address: int) -> "Optional[bool]":
@@ -353,6 +463,9 @@ def check_design(design, access_index: "Optional[int]" = None) -> None:
         _check_shared_array(design, [design.array], access_index)
     elif isinstance(design, SnucaCache):
         _check_shared_array(design, design.banks, access_index)
+    noc = _design_noc(design)
+    if noc is not None:
+        check_directory(design, noc, access_index)
 
 
 def check_system(system, access_index: "Optional[int]" = None) -> None:
@@ -375,8 +488,17 @@ def _check_nurapid_address(
     full scan counts — the incremental check is exact, not a heuristic.
     (The frame free-list accounting check has no per-address anchor and
     stays full-scan-only.)
+
+    Scans every core's tag array directly rather than going through
+    ``cache._sharers`` — under the mesh backend that helper is
+    directory-filtered, and the checker must stay independent of the
+    structure it is meant to audit.
     """
-    holders = list(cache._sharers(address))
+    holders = [
+        (core, entry)
+        for core in range(cache.num_cores)
+        if (entry := cache.tags[core].lookup(address, touch=False)) is not None
+    ]
     if not holders:
         return
     cores = [core for core, _ in holders]
@@ -576,6 +698,10 @@ def check_system_incremental(system, dirty, access_index: "Optional[int]" = None
     elif isinstance(design, (SharedCache, IdealCache, SnucaCache)):
         for address in dirty.addresses:
             _check_shared_address(design, address, access_index)
+    noc = _design_noc(design)
+    if noc is not None:
+        for address in dirty.addresses:
+            _check_directory_address(design, noc, address, access_index)
     for address in dirty.addresses:
         _check_inclusion_address(system, address, access_index)
     dirty.clear()

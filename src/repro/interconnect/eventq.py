@@ -325,6 +325,9 @@ def attach_eventq(
     crossbar = getattr(design, "crossbar", None)
     if crossbar is not None and hasattr(crossbar, "queue"):
         crossbar.queue = queue
+    noc = getattr(design, "noc", None)
+    if noc is not None and hasattr(noc, "queue"):
+        noc.queue = queue
     return queue
 
 

@@ -11,6 +11,7 @@ events that reach the L2.  Correctness is anchored on
 """
 
 from repro.kernel.engine import (
+    BATCH_BUS_MODELS,
     ENGINE_ENV,
     ENGINES,
     BatchKernel,
@@ -21,6 +22,7 @@ from repro.kernel.engine import (
 from repro.kernel.soa import L1Pool
 
 __all__ = [
+    "BATCH_BUS_MODELS",
     "ENGINE_ENV",
     "ENGINES",
     "BatchKernel",

@@ -405,6 +405,12 @@ class BatchKernel:
         return stats
 
 
+#: Interconnect backends the batch kernel can model.  The mesh NoC's
+#: split-phase directory transactions (and its scaled tile counts) are
+#: scalar-engine territory; ``run_batch`` refuses them explicitly.
+BATCH_BUS_MODELS = ("atomic", "eventq")
+
+
 def _normalize_cell(cell) -> "tuple[str, str, bool, Optional[str]]":
     if hasattr(cell, "workload"):
         return (
@@ -457,6 +463,17 @@ def run_batch(
             cell_bus = default_bus
         else:
             cell_bus = resolve_bus_model(cell_bus)
+        if cell_bus == "mesh":
+            raise ValueError(
+                "the batch kernel supports the atomic and eventq bus "
+                "models only; the mesh NoC's split-phase directory "
+                "transactions need the scalar engine"
+            )
+        if getattr(cell, "num_cores", 0):
+            raise ValueError(
+                "the batch kernel models the paper's 4-core machine "
+                "only; scaled cells need the scalar engine"
+            )
         lanes = groups.setdefault((workload, multiprogrammed), [])
         if (design, cell_bus) not in lanes:
             lanes.append((design, cell_bus))
@@ -482,6 +499,7 @@ def run_batch(
 
 
 __all__ = [
+    "BATCH_BUS_MODELS",
     "ENGINE_ENV",
     "ENGINES",
     "WINDOW",

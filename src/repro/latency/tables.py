@@ -115,6 +115,100 @@ def nurapid_dgroup_latencies(
     return tuple(matrix)
 
 
+def mesh_dims(num_tiles: int) -> "tuple[int, int]":
+    """Near-square (rows, cols) factorization of a tile count.
+
+    4 -> 2x2, 8 -> 2x4, 16 -> 4x4, 64 -> 8x8.  The 2x2 grid is the
+    calibration anchor: its diameter-2 round trip reproduces the paper's
+    32-cycle bus (see :mod:`repro.interconnect.mesh`).
+    """
+    if num_tiles < 1:
+        raise ValueError(f"need at least one tile, got {num_tiles}")
+    rows = int(num_tiles**0.5)
+    while num_tiles % rows:
+        rows -= 1
+    return rows, num_tiles // rows
+
+
+def mesh_tile(core: int, num_tiles: int) -> "tuple[int, int]":
+    """Row-major (row, col) position of a core/d-group tile."""
+    rows, cols = mesh_dims(num_tiles)
+    if not 0 <= core < num_tiles:
+        raise ValueError(f"tile {core} outside 0..{num_tiles - 1}")
+    return divmod(core, cols)
+
+
+def mesh_hops(a: int, b: int, num_tiles: int) -> int:
+    """Manhattan hop count between two tiles (what XY routing takes)."""
+    ar, ac = mesh_tile(a, num_tiles)
+    br, bc = mesh_tile(b, num_tiles)
+    return abs(ar - br) + abs(ac - bc)
+
+
+#: Per-hop data latency of the d-group crossbar links under the mesh
+#: floorplan.  Calibrated to Table 1's ladder: own tile = 6 cycles and
+#: 6 + 14*hops reproduces the 20-cycle adjacent d-groups exactly (the
+#: paper's 33-cycle diagonal is kept verbatim at 4 cores below).
+MESH_DGROUP_HOP_LATENCY = 14
+
+
+def mesh_dgroup_latencies(
+    num_cores: int, num_dgroups: "int | None" = None
+) -> "tuple[tuple[int, ...], ...]":
+    """Hop-distance d-group latency matrix for mesh floorplans.
+
+    One d-group per tile; latency from core ``c`` to d-group ``g`` is
+    ``6 + 14 * manhattan(tile(c), tile(g))``.  At the paper's 4-core
+    configuration this returns Table 1 **verbatim** (the 2x2 grid is the
+    calibration anchor, so 4-core mesh runs are bit-identical to the
+    bus-era latency matrix); larger grids extend the same ladder with
+    distance.
+    """
+    num_dgroups = num_cores if num_dgroups is None else num_dgroups
+    if num_cores != num_dgroups:
+        raise ValueError("mesh latency matrix requires one d-group per tile")
+    if num_cores == 4:
+        return nurapid_dgroup_latencies(4, 4)
+    close = 6
+    return tuple(
+        tuple(
+            close + MESH_DGROUP_HOP_LATENCY * mesh_hops(core, group, num_cores)
+            for group in range(num_dgroups)
+        )
+        for core in range(num_cores)
+    )
+
+
+def mesh_dgroup_preferences(
+    num_cores: int, num_dgroups: "int | None" = None
+) -> "tuple[tuple[int, ...], ...]":
+    """Distance-sorted d-group rankings for mesh floorplans.
+
+    Each core ranks d-groups by hop distance from its own tile, with a
+    per-core rotated tie-break among equidistant groups so neighbouring
+    cores stagger their staging targets (the property Figure 1's table
+    encodes).  At 4 cores this returns Figure 1 verbatim, keeping the
+    mesh backend's preference order identical to the bus backend's.
+    """
+    num_dgroups = num_cores if num_dgroups is None else num_dgroups
+    if num_cores != num_dgroups:
+        raise ValueError("mesh preference rankings require one d-group per tile")
+    if num_cores == 4:
+        return _PAPER_PREFERENCES
+    return tuple(
+        tuple(
+            sorted(
+                range(num_dgroups),
+                key=lambda group: (
+                    mesh_hops(core, group, num_cores),
+                    (group - core) % num_dgroups,
+                ),
+            )
+        )
+        for core in range(num_cores)
+    )
+
+
 def snuca_bank_latencies(num_cores: int, num_banks: int) -> "tuple[tuple[int, ...], ...]":
     """Latency from each core to each CMP-SNUCA bank.
 

@@ -1,0 +1,83 @@
+"""Regenerate the golden scaled-mesh fingerprint grid.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/data/mesh/generate.py
+
+The script runs the scaled CMP-NuRAPID communication cells (CS, CR,
+ISC, and the private baseline) at 8 and 16 cores on the mesh NoC
+(``--bus-model mesh``) and records every cell's
+:meth:`~repro.common.stats.SimulationStats.fingerprint` in
+``expected.json``.  ``test_mesh_golden.py`` then asserts that the
+current build still reproduces every committed fingerprint bit for
+bit.
+
+The 4-core differential suite proves mesh == bus where both exist;
+beyond four cores there is no bus to compare against, so this corpus
+is the anchor: a failure here means the mesh NoC, the directory, or
+the scaled workload generator changed simulated behaviour since the
+fixtures were committed.  Regenerate only for a legitimate model
+change, and commit the refreshed ``expected.json`` with the change
+that caused it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.experiments.runner import (
+    ExperimentConfig,
+    build_design,
+    run_multithreaded,
+)
+
+HERE = Path(__file__).resolve().parent
+
+#: (workload, design, num_cores) cells, each run on the mesh NoC.
+CELLS = (
+    ("oltp", "private", 8),
+    ("oltp", "cmp-nurapid-cs", 8),
+    ("oltp", "cmp-nurapid-cr", 8),
+    ("oltp", "cmp-nurapid-isc", 8),
+    ("ocean", "private", 16),
+    ("ocean", "cmp-nurapid-cs", 16),
+    ("ocean", "cmp-nurapid-cr", 16),
+    ("ocean", "cmp-nurapid-isc", 16),
+)
+
+SEEDS = (42, 7)
+
+ACCESSES = 600
+WARMUP = 300
+
+
+def cell_key(workload, design, num_cores, seed):
+    return f"{workload}/{design}/c{num_cores}/mesh/seed={seed}"
+
+
+def run_cell(workload, design_name, num_cores, seed):
+    config = ExperimentConfig(
+        warmup_per_core=WARMUP, measure_per_core=ACCESSES, seed=seed
+    )
+    design = build_design(design_name, bus_model="mesh", num_cores=num_cores)
+    _, stats = run_multithreaded(design, workload, config,
+                                 num_cores=num_cores)
+    return stats
+
+
+def main() -> None:
+    expected = {}
+    for workload, design, num_cores in CELLS:
+        for seed in SEEDS:
+            stats = run_cell(workload, design, num_cores, seed)
+            expected[cell_key(workload, design, num_cores, seed)] = (
+                stats.fingerprint()
+            )
+    out = HERE / "expected.json"
+    out.write_text(json.dumps(expected, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out} ({len(expected)} fingerprints)")
+
+
+if __name__ == "__main__":
+    main()

@@ -430,3 +430,39 @@ class TestSupervisionFlags:
 
         kinds = {event.kind for event in read_jsonl(str(trace))}
         assert "quarantine" in kinds
+
+
+class TestMeshCli:
+    """The mesh NoC's CLI surface: engine guards and the scale grid."""
+
+    def test_batch_engine_refuses_mesh_exit_2(self, capsys):
+        code, out, err = run_cli_err(
+            capsys, "run", "--engine", "batch", "--bus-model", "mesh",
+            "--accesses", "100", "--warmup", "0",
+        )
+        assert code == 2
+        assert "mesh" in err
+        assert "scalar" in err
+        assert "Traceback" not in err
+
+    def test_scale_refuses_batch_engine_exit_2(self, capsys):
+        code, out, err = run_cli_err(
+            capsys, "experiment", "scale", "--engine", "batch",
+        )
+        assert code == 2
+        assert "Traceback" not in err
+
+    def test_scale_rejects_unsupported_core_count_exit_2(self, capsys):
+        code, out, err = run_cli_err(
+            capsys, "experiment", "scale", "--cores", "7",
+        )
+        assert code == 2
+        assert "7" in err
+
+    def test_scalar_run_accepts_mesh(self, capsys):
+        code, out = run_cli(
+            capsys, "run", "--design", "private", "--bus-model", "mesh",
+            "--accesses", "1500", "--warmup", "0",
+        )
+        assert code == 0
+        assert "throughput" in out

@@ -1,0 +1,176 @@
+"""Property tests: the directory is truthful and the mesh routes XY.
+
+Three families of randomized properties pin the structures the mesh
+backend's correctness argument leans on:
+
+* **Writable exclusivity** — random multi-core traffic through
+  mesh-attached caches never produces two writable (M/E) copies of a
+  block, exactly as on the snooping bus: directory-filtered snoop
+  delivery preserves MESI's global invariant.
+* **Sharer-vector truth** — after any traffic, every directory entry
+  equals the true set of cores holding a valid copy, in both
+  directions (no phantom sharers, no untracked holders).  This is the
+  premise of the 4-core equivalence argument: forwarding only to
+  recorded holders is lossless only if the vector never under-counts.
+* **XY routing geometry** — hop counts equal Manhattan distance on
+  every supported grid, and the dimension-ordered route has exactly
+  that many links, each between grid neighbours.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.caches.private import PrivateCaches
+from repro.coherence.states import CoherenceState
+from repro.common.params import (
+    KB,
+    CacheGeometry,
+    NurapidParams,
+    PrivateCacheParams,
+)
+from repro.common.types import Access, AccessType
+from repro.core.nurapid import NurapidCache
+from repro.interconnect.mesh import MeshTopology, attach_mesh, mesh_noc
+
+M = CoherenceState.MODIFIED
+E = CoherenceState.EXCLUSIVE
+
+BASE = 0x10000
+LINE = 128
+BLOCKS = 48
+
+
+def mesh_private() -> PrivateCaches:
+    design = PrivateCaches(
+        PrivateCacheParams(geometry=CacheGeometry(4 * KB, 2, LINE))
+    )
+    attach_mesh(design)
+    return design
+
+
+def mesh_nurapid() -> NurapidCache:
+    design = NurapidCache(
+        NurapidParams(dgroup_capacity_bytes=4 * KB, tag_associativity=2)
+    )
+    attach_mesh(design)
+    return design
+
+
+traffic = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=0, max_value=BLOCKS - 1),
+        st.booleans(),
+    ),
+    min_size=1,
+    max_size=300,
+)
+
+
+def drive(design, steps):
+    for core, block, is_write in steps:
+        access_type = AccessType.WRITE if is_write else AccessType.READ
+        design.access(Access(core, BASE + block * LINE, access_type))
+
+
+@settings(max_examples=40, deadline=None)
+@given(steps=traffic)
+def test_no_two_writable_copies_under_mesh(steps):
+    """At most one M/E copy of any block; M/E never coexist with S."""
+    caches = mesh_private()
+    drive(caches, steps)
+    for block in range(BLOCKS):
+        address = BASE + block * LINE
+        states = [caches.state_of(core, address) for core in range(4)]
+        valid = [state for state in states if state.is_valid]
+        writable = [state for state in valid if state in (M, E)]
+        assert len(writable) <= 1, f"block {block}: {states}"
+        if writable:
+            assert len(valid) == 1, f"block {block}: {states}"
+
+
+@settings(max_examples=40, deadline=None)
+@given(steps=traffic)
+def test_directory_equals_true_holder_set_private(steps):
+    """MESI caches: the sharer vector is the valid-copy set, exactly."""
+    caches = mesh_private()
+    drive(caches, steps)
+    noc = mesh_noc(caches)
+    for block in range(BLOCKS):
+        address = BASE + block * LINE
+        actual = {
+            core for core in range(4)
+            if caches.state_of(core, address).is_valid
+        }
+        recorded = set(noc.directory.holders(address))
+        assert recorded == actual, (
+            f"block {block}: directory {sorted(recorded)} "
+            f"vs holders {sorted(actual)}"
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(steps=traffic)
+def test_directory_equals_true_holder_set_nurapid(steps):
+    """MESIC tag arrays: same truth condition on the CMP-NuRAPID side."""
+    design = mesh_nurapid()
+    drive(design, steps)
+    noc = mesh_noc(design)
+    for block in range(BLOCKS):
+        address = BASE + block * LINE
+        actual = {
+            core for core in range(4)
+            if design.tags[core].lookup(address, touch=False) is not None
+        }
+        recorded = set(noc.directory.holders(address))
+        assert recorded == actual, (
+            f"block {block}: directory {sorted(recorded)} "
+            f"vs tag holders {sorted(actual)}"
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(steps=traffic)
+def test_directory_tracks_no_phantom_blocks(steps):
+    """Every tracked block really has at least one live copy."""
+    caches = mesh_private()
+    drive(caches, steps)
+    noc = mesh_noc(caches)
+    for _home, address, mask in noc.directory.entries():
+        assert mask, f"empty vector left behind for {address:#x}"
+        for core in noc.directory.holders(address):
+            assert caches.state_of(core, address).is_valid, (
+                f"phantom sharer {core} for {address:#x}"
+            )
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    num_tiles=st.sampled_from((4, 8, 16, 64)),
+    data=st.data(),
+)
+def test_xy_hops_equal_manhattan_distance(num_tiles, data):
+    """hops == Manhattan distance, and the XY route realizes it."""
+    topo = MeshTopology(num_tiles)
+    a = data.draw(st.integers(min_value=0, max_value=num_tiles - 1))
+    b = data.draw(st.integers(min_value=0, max_value=num_tiles - 1))
+    row_a, col_a = topo.tile(a)
+    row_b, col_b = topo.tile(b)
+    manhattan = abs(row_a - row_b) + abs(col_a - col_b)
+    assert topo.hops(a, b) == manhattan
+    assert topo.hops(b, a) == manhattan  # symmetric
+    route = topo.route(a, b)
+    assert len(route) == manhattan
+    here = a
+    for src, dst in route:
+        assert src == here, "route must be connected"
+        srow, scol = topo.tile(src)
+        drow, dcol = topo.tile(dst)
+        assert abs(srow - drow) + abs(scol - dcol) == 1, (
+            "every link joins grid neighbours"
+        )
+        here = dst
+    if route:
+        assert route[-1][1] == b
+    else:
+        assert a == b

@@ -17,14 +17,13 @@ accesses/core) so the whole suite stays CI-cheap.
 import pytest
 
 from repro.experiments.runner import (
-    BUS_MODELS,
     DESIGN_FACTORIES,
     ExperimentConfig,
     build_design,
     run_mix,
     run_multithreaded,
 )
-from repro.kernel import run_batch
+from repro.kernel import BATCH_BUS_MODELS, run_batch
 from repro.workloads.multiprogrammed import MIXES
 from repro.workloads.multithreaded import MULTITHREADED
 
@@ -60,9 +59,9 @@ def test_design_identical_both_buses_three_seeds(design):
     """Each design, both bus lanes in ONE batch, across three seeds."""
     for seed in SEEDS:
         config = config_for(seed=seed)
-        cells = [("oltp", design, False, bus) for bus in BUS_MODELS]
+        cells = [("oltp", design, False, bus) for bus in BATCH_BUS_MODELS]
         got = batch_fingerprints(cells, config)
-        for bus in BUS_MODELS:
+        for bus in BATCH_BUS_MODELS:
             want = scalar_fingerprint("oltp", design, bus, config)
             assert got[("oltp", design, False, bus)] == want, (
                 f"{design}/{bus} diverged at seed {seed}"
@@ -77,11 +76,11 @@ def test_workload_identical_mixed_design_batch(workload):
     cells = [
         (workload, design, False, bus)
         for design in designs
-        for bus in BUS_MODELS
+        for bus in BATCH_BUS_MODELS
     ]
     got = batch_fingerprints(cells, config)
     for design in designs:
-        for bus in BUS_MODELS:
+        for bus in BATCH_BUS_MODELS:
             want = scalar_fingerprint(workload, design, bus, config)
             assert got[(workload, design, False, bus)] == want, (
                 f"{workload}/{design}/{bus} diverged"
@@ -94,10 +93,10 @@ def test_mix_identical_mixed_design_batch(mix):
     designs = ("private", "cmp-nurapid-cr")
     config = config_for()
     cells = [(mix, design, True, bus)
-             for design in designs for bus in BUS_MODELS]
+             for design in designs for bus in BATCH_BUS_MODELS]
     got = batch_fingerprints(cells, config)
     for design in designs:
-        for bus in BUS_MODELS:
+        for bus in BATCH_BUS_MODELS:
             want = scalar_fingerprint(mix, design, bus, config,
                                       multiprogrammed=True)
             assert got[(mix, design, True, bus)] == want, (
@@ -155,11 +154,30 @@ def test_default_bus_model_resolves_from_environment(monkeypatch):
     suite runs once per bus model with only the environment changed.
     """
     config = config_for()
-    for bus in BUS_MODELS:
+    for bus in BATCH_BUS_MODELS:
         monkeypatch.setenv("REPRO_BUS_MODEL", bus)
         got = batch_fingerprints([("oltp", "private", False)], config)
         want = scalar_fingerprint("oltp", "private", bus, config)
         assert got[("oltp", "private", False, bus)] == want
+
+
+def test_batch_refuses_mesh_cells():
+    """The mesh NoC is scalar-engine territory: run_batch says so."""
+    config = config_for(accesses=10, warmup=0)
+    with pytest.raises(ValueError, match="mesh"):
+        run_batch([("oltp", "private", False, "mesh")], config)
+    with pytest.raises(ValueError, match="mesh"):
+        run_batch([("oltp", "private", False)], config, bus_model="mesh")
+
+
+def test_batch_refuses_scaled_cells():
+    """Scaled (num_cores != 0) cells cannot ride the 4-core kernel."""
+    from repro.experiments.parallel import Cell
+
+    config = config_for(accesses=10, warmup=0)
+    with pytest.raises(ValueError, match="4-core"):
+        run_batch([Cell("oltp", "private", False, 16)], config,
+                  bus_model="atomic")
 
 
 def test_warmup_reset_boundary_identical():

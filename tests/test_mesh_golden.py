@@ -1,0 +1,41 @@
+"""Golden scaled-mesh grid: committed fingerprints must keep holding.
+
+``tests/data/mesh/expected.json`` pins the mesh NoC's fingerprint for
+the scaled CMP-NuRAPID communication cells (CS, CR, ISC, and the
+private baseline) at 8 and 16 cores, two seeds each.  The 4-core
+differential suite proves mesh == bus where both exist; beyond four
+cores there is no bus to compare against, so this corpus anchors the
+scaled trajectory across builds — a failure here means the mesh, the
+directory, or the scaled workload generator drifted since the
+fixtures were committed.  Either fix the regression or consciously
+regenerate with ``tests/data/mesh/generate.py`` alongside the model
+change.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from tests.data.mesh.generate import CELLS, SEEDS, cell_key, run_cell
+
+DATA = Path(__file__).resolve().parent / "data" / "mesh"
+EXPECTED = json.loads((DATA / "expected.json").read_text())
+
+
+def test_corpus_is_complete():
+    """Every generator cell has a committed fingerprint, and only those."""
+    assert EXPECTED, "expected.json is empty — regenerate the corpus"
+    want = {cell_key(*cell, seed) for cell in CELLS for seed in SEEDS}
+    assert set(EXPECTED) == want
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_scaled_mesh_grid_matches_golden_fingerprints(seed):
+    mismatches = []
+    for workload, design, num_cores in CELLS:
+        stats = run_cell(workload, design, num_cores, seed)
+        key = cell_key(workload, design, num_cores, seed)
+        if stats.fingerprint() != EXPECTED[key]:
+            mismatches.append(key)
+    assert not mismatches, f"fingerprint drift in: {', '.join(mismatches)}"
