@@ -261,24 +261,48 @@ def _resolve_engine_arg(args):
         raise CliError(str(error)) from None
 
 
+#: ``repro run`` flags the batch engine cannot honour, and why.  The
+#: refusal diagnostics below name the *specific* offending flag so a
+#: user with a long command line is not left diffing flag lists.
+_BATCH_HARNESS_FLAGS = (
+    ("check_invariants", "--check-invariants", "fault-free runs only"),
+    ("checkpoint", "--checkpoint", "fault-free runs only"),
+    ("resume", "--resume", "fault-free runs only"),
+    ("inject_fault", "--inject-fault", "fault-free runs only"),
+    ("timeout", "--timeout", "fault-free runs only"),
+    ("trace", "--trace", "uninstrumented runs only"),
+    ("metrics", "--metrics", "uninstrumented runs only"),
+    ("profile", "--profile", "uninstrumented runs only"),
+)
+
+
 def _validate_batch_run_args(args) -> None:
     """The batch engine runs fault-free and uninstrumented only."""
-    if resolve_bus_model(getattr(args, "bus_model", None)) == "mesh":
+    from repro.kernel import BATCH_BUS_MODELS
+
+    bus = resolve_bus_model(getattr(args, "bus_model", None))
+    if bus not in BATCH_BUS_MODELS:
+        supported = " and ".join(BATCH_BUS_MODELS)
         raise CliError(
-            "--engine batch supports the atomic and eventq bus models "
-            "only; the mesh NoC is a scalar-engine backend — drop "
-            "'--bus-model mesh' or use '--engine scalar'"
+            f"--engine batch does not support '--bus-model {bus}' (the "
+            f"mesh NoC is a scalar-engine backend); supported batch bus "
+            f"models are {supported} — drop '--bus-model {bus}' or use "
+            "'--engine scalar'"
         )
-    if _harness_active(args):
+    offending = [
+        flag
+        for attr, flag, _ in _BATCH_HARNESS_FLAGS
+        if getattr(args, attr)
+    ]
+    if offending:
+        reasons = {
+            reason
+            for attr, _, reason in _BATCH_HARNESS_FLAGS
+            if getattr(args, attr)
+        }
         raise CliError(
-            "--engine batch supports fault-free runs only; drop the "
-            "harness flags (--check-invariants/--checkpoint/--resume/"
-            "--inject-fault/--timeout) or use the scalar engine"
-        )
-    if args.trace or args.metrics or args.profile:
-        raise CliError(
-            "--engine batch runs uninstrumented; drop --trace/--metrics/"
-            "--profile or use the scalar engine"
+            f"--engine batch supports {' and '.join(sorted(reasons))}; "
+            f"drop {', '.join(offending)} or use '--engine scalar'"
         )
 
 

@@ -10,20 +10,52 @@ materialized event tape:
    so generation cost, more than half of a scalar run, is paid once per
    workload instead of once per cell.
 2. **Probe a window** of upcoming events for every lane against the
-   SoA L1 state (:class:`~repro.kernel.soa.L1Pool`) in one masked array
-   op, and classify each as a *pure L1 hit* (load hit, or store hit on
-   a writable line) or a *fallback* (anything that must reach the L2).
-3. **Commit** the run of pure hits before each lane's first fallback as
-   vectorized recency/counter/timing updates.  This is sound because a
-   pure hit never changes line presence or write permission — only LRU
-   stamps, dirty bits, and counters — so the window's classification
-   stays valid for every event before the first fallback.
-4. **Fall back to the scalar path** for the one blocking event per
-   lane: charge its instruction context, drain the lane's event queue
-   (the eventq backend), call ``design.access`` with the lane's virtual
-   clock, and apply the L1 fill / peer-invalidate / peer-downgrade
-   protocol on the SoA buffers — exactly the sequence ``CmpSystem``
-   runs, against state the scalar engine would agree with bit for bit.
+   SoA L1 state (:class:`~repro.kernel.soa.L1Pool`) and, for eligible
+   lanes, the SoA L2 tag mirror (:class:`~repro.kernel.soa.L2Pool`),
+   classifying each event into one of **four classes**:
+
+   * **class 1 — pure L1 hit**: load hit, or store hit on a writable
+     line; completes inside the L1.
+   * **class 2 — private L2 hit, no coherence action**: a read that
+     misses the L1 but hits the core's own tag array on a valid E/M
+     line served from the core's closest d-group — no promotion under
+     either policy, no bus op, no block movement.
+   * **class 3 — L2 hit needing only local pointer/LRU updates**: a
+     read hit on an S line that provably does not replicate (CR off,
+     or served from the closest d-group, or still under the
+     replicate-on-use threshold) or on a C line with migration
+     disabled.  Side effects are the tag LRU touch, the reuse bump,
+     the crossbar traffic count, and the d-group hit statistics —
+     all representable as array/column updates.
+   * **class 4 — true fallback**: everything else (L1 upgrades, L2
+     misses, coherence transitions, replications/promotions/
+     migrations, writes reaching the L2, eventq-occupied buses).
+
+3. **Commit** classes 1–3 vectorized.  Pure hits take masked
+   recency/counter updates; fast L2 hits additionally perform the L1
+   fill, the peer writable-revoke, the design-side reuse/LRU touch,
+   and the crossbar/d-group accounting.  All committed events in one
+   window share a per-slot occurrence ranking so every LRU stamp is
+   the exact scalar clock value.  A window's committable prefix is
+   truncated at the first event whose (slot, L1 set) or (slot, L2
+   set) was touched by an earlier fast-L2 commit in the same window —
+   a fast-L2 fill changes L1 presence and line reuse counts, so later
+   classifications in those sets could be stale.
+4. **Batch the scalar residue.**  When a lane's prefix ends at a true
+   class-4 event, the whole consecutive run of class-4 events is
+   executed back-to-back on the scalar path (with per-lane timing
+   hoisted into plain python ints for the run) instead of breaking
+   the window for a single event — this is what makes cold grids,
+   where almost every event reaches the L2, faster than scalar.
+   After the run, the L2 mirror rows of every dirty-marked address
+   are re-read from the design, so classification state is coherent
+   again.
+
+The scalar residue is *self-determining*: ``L1Pool``'s scalar ops plus
+``design.access`` are bit-correct for any event, so classification is
+purely advisory — a stale "committable" verdict is never committed
+(truncation), and running extra events through the residue is always
+safe.
 
 Statistics are assembled per lane exactly as ``CmpSystem.stats`` does,
 so ``SimulationStats.fingerprint()`` is identical to the scalar
@@ -35,7 +67,12 @@ only (no tracer, no metrics, no fault injection).  Under the eventq
 backend the queue is drained at each fallback event; in fault-free
 operation every transaction drains inside its issuing call, so the
 queue is empty between events in both engines and the drain points are
-equivalent to the scalar engine's per-event drain.
+equivalent to the scalar engine's per-event drain.  Fast L2 classes
+are enabled per lane only when the design opts in via
+:meth:`~repro.caches.design.L2Design.batch_fast_spec` *and* the lane
+runs the atomic bus (an attached event queue observes crossbar data
+phases the fast path would skip); ineligible lanes still get shared
+tapes and batched residues.
 """
 
 from __future__ import annotations
@@ -47,10 +84,12 @@ from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 import numpy as np
 
 from repro.caches.design import L2Design
+from repro.coherence.states import CoherenceState
 from repro.common.params import L1Params, SystemParams
 from repro.common.stats import CoreTiming, SimulationStats
-from repro.common.types import Access, AccessType, SharingClass
-from repro.kernel.soa import L1Pool
+from repro.common.types import Access, AccessType, MissClass, SharingClass
+from repro.core.tag_array import STATE_CODES
+from repro.kernel.soa import L1Pool, L2Pool
 
 if TYPE_CHECKING:  # pragma: no cover
     from numpy.typing import NDArray
@@ -65,9 +104,46 @@ ENGINES = ("scalar", "batch")
 ENGINE_ENV = "REPRO_ENGINE"
 
 #: Speculative window length (events probed per lane per pass).  Sized
-#: a little above the mean pure-hit run length so most passes commit a
-#: full run and meet its fallback in the same probe.
+#: a little above the mean committable run length so most passes commit
+#: a full run and meet its residue in the same probe.
 WINDOW = 24
+
+#: Minimum fast-L2 yield (candidate reads, then classified hits) in a
+#: window before the fast-L2 commit machinery engages.  Classification
+#: is advisory, so skipping it is always correct — below this yield the
+#: conflict/ranking overhead costs more than the scalar calls it would
+#: save, and the events simply join the batched scalar residue.  Sized
+#: so the tier stays idle on ordinary grids (a few L1-missing reads per
+#: window) and engages only on genuinely L2-hit-heavy phases.
+_FAST_GATE = 8
+
+#: Windows between fast-tier sleep/wake decisions.  While a lane is
+#: awake, every residue run conservatively invalidates the mirror rows
+#: it touched (cheap, and "unknown" classifies as a miss — correct) and
+#: the invalidated sets are re-read at the next epoch boundary.  A lane
+#: whose residue rate shows the tier cannot pay for that upkeep is put
+#: to *sleep*: its cores leave the candidate mask, so residues stop
+#: paying any mirror tax at all.  A later calm epoch (an L2-hit-heavy
+#: phase) wakes it with one full lane re-read.
+_REFRESH_WINDOWS = 128
+
+#: Calm threshold: a lane running at least this many scalar-residue
+#: events per epoch is loud — mirror upkeep would cost more than the
+#: fast classes could return, so the lane sleeps.  Below it the lane is
+#: calm: upkeep is cheap (refresh cost scales with residue rate) and
+#: the hit-heavy traffic is exactly what classes 2 and 3 vectorize.
+_CALM_EVENTS = 64
+
+#: Wake threshold: a sleeping lane whose residue shows at least this
+#: many *convertible* L2 read hits per epoch — estimated by sampling
+#: every 16th hit through the class-2/3 conditions — has traffic worth
+#: one full mirror re-read.  Convertible hits, not residue volume,
+#: break the chicken-and-egg of sleeping through an L2-hit-heavy
+#: phase: those events would go fast if only the mirror were valid.
+#: The bar doubles each time a lane goes (back) to sleep, so a lane
+#: whose hits never classify fast (e.g. replication-heavy sharing)
+#: stops thrash-waking geometrically.
+_WAKE_HITS = 512
 
 _SHARING = (
     SharingClass.PRIVATE,
@@ -75,6 +151,12 @@ _SHARING = (
     SharingClass.READ_WRITE_SHARED,
 )
 _SHARING_CODE = {sharing: code for code, sharing in enumerate(_SHARING)}
+
+_HIT = MissClass.HIT
+_M_CODE = STATE_CODES[CoherenceState.MODIFIED]
+_E_CODE = STATE_CODES[CoherenceState.EXCLUSIVE]
+_S_CODE = STATE_CODES[CoherenceState.SHARED]
+_C_CODE = STATE_CODES[CoherenceState.COMMUNICATION]
 
 
 def resolve_engine(engine: "Optional[str]" = None) -> str:
@@ -84,6 +166,33 @@ def resolve_engine(engine: "Optional[str]" = None) -> str:
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
     return engine
+
+
+def _poisoned_later(keys: "NDArray", poison: "NDArray") -> "NDArray":
+    """True for rows preceded, in row order, by a poison row of equal key.
+
+    Rows are window probes in (lane-major, event-order) layout and
+    ``keys`` embed the slot, so a stable sort groups each slot-local
+    key without reordering events; an exclusive prefix count of poison
+    rows inside each equal-key run then says "something earlier in this
+    window already mutated this set".
+    """
+    n = keys.shape[0]
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    sorted_poison = poison[order].astype(np.int64)
+    prefix = np.cumsum(sorted_poison) - sorted_poison
+    boundaries = np.empty(n, dtype=bool)
+    boundaries[0] = True
+    np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=boundaries[1:])
+    index = np.arange(n)
+    run_starts = index[boundaries]
+    run_base = np.repeat(
+        prefix[run_starts], np.diff(np.append(run_starts, n))
+    )
+    out = np.empty(n, dtype=bool)
+    out[order] = (prefix - run_base) > 0
+    return out
 
 
 class EventTape:
@@ -213,6 +322,13 @@ class BatchKernel:
             tuple(c for c in range(self.num_cores) if c != i)
             for i in range(self.num_cores)
         )
+        # Instrumentation (events committed per class; vacuity guards
+        # in the differential suite assert the fast classes fired).
+        self.pure_commits = 0
+        self.fast_l2_commits = 0
+        self.scalar_events = 0
+        self.windows = 0
+        self._init_fast_l2()
 
     def _make_invalidate_hook(self, slot_base: int, design: L2Design):
         """The design's L1-inclusion hook, redirected at the pool."""
@@ -224,6 +340,115 @@ class BatchKernel:
             )
 
         return hook
+
+    def _init_fast_l2(self) -> None:
+        """Enroll lanes into the fast L2 classes and build the mirror.
+
+        A lane qualifies when its design publishes a
+        :class:`~repro.caches.design.BatchFastSpec`, runs the atomic
+        bus (no event queue), has no tracer or pre-attached dirty set,
+        and matches the 4-core batch shape; lanes after the first must
+        also share its tag geometry and d-group count so one stacked
+        mirror covers them all.  Ineligible lanes simply take the
+        scalar residue for every L2-reaching event, exactly as before.
+        """
+        from repro.common.dirty import DirtySet
+
+        num_slots = self.pool.num_slots
+        self._any_fast = False
+        self.l2: "Optional[L2Pool]" = None
+        self._fast_row = [-1] * len(self.lanes)
+        self._fast_designs: "list[L2Design]" = []
+        self._fast_ok = np.zeros(num_slots, dtype=bool)
+        self._fast_eslot = np.zeros(num_slots, dtype=np.int64)
+        eligible = []
+        first_spec = None
+        for index, lane in enumerate(self.lanes):
+            design = lane.design
+            spec = design.batch_fast_spec()
+            if (
+                spec is None
+                or lane.queue is not None
+                or design.tracer.enabled
+                or design.dirty_set is not None
+                or spec.num_cores != self.num_cores
+            ):
+                continue
+            if first_spec is None:
+                first_spec = spec
+            elif (
+                spec.tag_geometry != first_spec.tag_geometry
+                or spec.num_dgroups != first_spec.num_dgroups
+            ):
+                continue
+            eligible.append((index, lane, spec))
+        if not eligible:
+            return
+        designs = [lane.design for _, lane, _ in eligible]
+        # Fresh designs (never accessed: every tag clock at zero, no
+        # occupied frame) skip the full mirror scan — the pool's
+        # freshly allocated columns already say "all invalid".
+        fresh = all(
+            tag.array._clock == 0 for d in designs for tag in d.tags
+        ) and all(
+            group.occupied_count == 0 for d in designs for group in d.data.dgroups
+        )
+        geometry = first_spec.tag_geometry
+        num_dgroups = first_spec.num_dgroups
+        if fresh:
+            self.l2 = L2Pool(
+                len(designs),
+                self.num_cores,
+                geometry,
+                num_dgroups,
+                designs[0].data.dgroups[0].num_frames if designs[0].data.dgroups else 0,
+            )
+        else:
+            self.l2 = L2Pool.from_designs(designs)
+        num_eslots = len(designs) * self.num_cores
+        self._l2_closest = np.zeros(num_eslots, dtype=np.int64)
+        self._l2_no_cr = np.zeros(num_eslots, dtype=bool)
+        self._l2_rep_need = np.zeros(num_eslots, dtype=np.int64)
+        self._l2_cmig_ok = np.zeros(num_eslots, dtype=bool)
+        self._l2_stall = np.zeros((num_eslots, num_dgroups), dtype=np.int64)
+        for row, (index, lane, spec) in enumerate(eligible):
+            design = lane.design
+            design.dirty_set = DirtySet()
+            self._fast_row[index] = row
+            self._fast_designs.append(design)
+            xbar = design.crossbar
+            for core in range(self.num_cores):
+                eslot = row * self.num_cores + core
+                self._fast_ok[lane.slot_base + core] = True
+                self._fast_eslot[lane.slot_base + core] = eslot
+                self._l2_closest[eslot] = spec.closest[core]
+                self._l2_no_cr[eslot] = not spec.enable_cr
+                self._l2_rep_need[eslot] = spec.replicate_on_use
+                self._l2_cmig_ok[eslot] = spec.c_migration_threshold == 0
+                for group in range(num_dgroups):
+                    self._l2_stall[eslot, group] = (
+                        spec.tag_latency
+                        + xbar.dgroup_latencies[core][group]
+                        + xbar.fault_extra_latency
+                    )
+        # Plain-python copies of the spec tables for _probe_fast (a
+        # sampled per-event path where numpy scalar reads would cost).
+        self._l2_closest_l = self._l2_closest.tolist()
+        self._l2_no_cr_l = self._l2_no_cr.tolist()
+        self._l2_rep_need_l = self._l2_rep_need.tolist()
+        self._l2_cmig_ok_l = self._l2_cmig_ok.tolist()
+        # Lazy mirror maintenance: per fast lane, the set indices whose
+        # rows are conservatively invalidated but not yet re-read, the
+        # scalar-residue event count in the current refresh epoch, and
+        # the sleep/wake state (see _epoch_refresh).
+        self._l2_pending = [set() for _ in eligible]
+        self._l2_events = [0] * len(eligible)
+        self._l2_hits = [0] * len(eligible)
+        self._l2_awake = [True] * len(eligible)
+        self._l2_wake_bar = [_WAKE_HITS] * len(eligible)
+        self._l2_n_awake = len(eligible)
+        self._l2_slot_base = [lane.slot_base for _, lane, _ in eligible]
+        self._any_fast = True
 
     def run(self, tape: EventTape, warmup_events: int = 0) -> None:
         """Warm up, reset statistics, measure — over the whole batch."""
@@ -246,6 +471,8 @@ class BatchKernel:
         if start >= end:
             return
         pool = self.pool
+        l2 = self.l2
+        any_fast = self._any_fast
         num_slots = pool.num_slots
         n_lanes = len(self.lanes)
         pos = np.full(n_lanes, start, dtype=np.int64)
@@ -254,6 +481,7 @@ class BatchKernel:
         set_a = tape.set_index
         tag_a = tape.tag
         write_a = tape.is_write
+        addr_a = tape.address
         instr_w = tape.instr_weight
         cycle_w = tape.cycle_weight
         valid = pool.valid
@@ -262,6 +490,23 @@ class BatchKernel:
         instructions = self.instructions
         cycles = self.cycles
         window = WINDOW
+        l1_sets = pool.num_sets
+        if any_fast:
+            fast_ok = self._fast_ok
+            fast_eslot = self._fast_eslot
+            l2_valid = l2.valid
+            l2_tags = l2.tags
+            l2_state = l2.state
+            l2_dgroup = l2.dgroup
+            l2_reuse = l2.reuse
+            l2_off = l2.offset_bits
+            l2_mask = l2.index_mask
+            l2_shift = l2.tag_shift
+            l2_sets = l2.num_sets
+            l2_ways = l2_tags.shape[2]
+            # Disjoint key spaces for the fused conflict scan: L1 keys
+            # live below num_slots*l1_sets, L2 keys above it.
+            key2_off = num_slots * l1_sets
         # Templates for the full-window fast path: while every lane has
         # at least a window of events left, the ragged (rep, within,
         # starts) structure is constant and needn't be rebuilt per pass.
@@ -290,92 +535,518 @@ class BatchKernel:
                 ev = pos[active][rep] + within
                 slot = slot_base[active][rep] + core_a[ev]
                 full = False
+            self.windows += 1
+            if any_fast and self.windows % _REFRESH_WINDOWS == 0:
+                self._epoch_refresh()
             sets = set_a[ev]
             lines = valid[slot, sets] & (tags[slot, sets] == tag_a[ev][:, None])
             hit = lines.any(axis=1)
             way = lines.argmax(axis=1)
             is_write = write_a[ev]
             pure = hit & (~is_write | writable[slot, sets, way])
-            # First non-pure event per lane bounds its commit run.
-            bad = np.where(pure, window, within)
+            # Classification runs compressed to the candidate rows
+            # (fast-eligible L1-missing reads) and only engages when
+            # the yield clears the gate — both checks are advisory, so
+            # a skipped window just routes those events to the residue.
+            fastl2 = None
+            if any_fast and self._l2_n_awake:
+                cand = fast_ok[slot] & ~(is_write | pure)
+                c_rows = np.nonzero(cand)[0]
+                if c_rows.size >= _FAST_GATE:
+                    c_slot = slot[c_rows]
+                    addr = addr_a[ev[c_rows]]
+                    l2set_c = (addr >> l2_off) & l2_mask
+                    es_c = fast_eslot[c_slot]
+                    l2lines = l2_valid[es_c, l2set_c] & (
+                        l2_tags[es_c, l2set_c] == (addr >> l2_shift)[:, None]
+                    )
+                    l2hit = l2lines.any(axis=1)
+                    l2way_c = l2lines.argmax(axis=1)
+                    state = l2_state[es_c, l2set_c, l2way_c]
+                    dgroup_c = l2_dgroup[es_c, l2set_c, l2way_c]
+                    near_c = dgroup_c == self._l2_closest[es_c]
+                    fast2 = ((state == _M_CODE) | (state == _E_CODE)) & near_c
+                    fast3 = (state == _S_CODE) & (
+                        self._l2_no_cr[es_c]
+                        | near_c
+                        | (l2_reuse[es_c, l2set_c, l2way_c] + 2
+                           < self._l2_rep_need[es_c])
+                    )
+                    fast3 |= (state == _C_CODE) & self._l2_cmig_ok[es_c]
+                    fast_c = l2hit & (fast2 | fast3)
+                    if int(np.count_nonzero(fast_c)) >= _FAST_GATE:
+                        fastl2 = np.zeros(slot.shape[0], dtype=bool)
+                        fastl2[c_rows[fast_c]] = True
+            if fastl2 is not None:
+                committable = pure | fastl2
+                # Truncate each lane's prefix at the first event an
+                # earlier fast-L2 commit of this window could have
+                # misclassified.  One fused poison scan: the L1 keys of
+                # all rows (a fill changes L1 presence, which every
+                # row's classification reads) stacked with offset
+                # way-resolved L2 keys.  A fast commit's only L2-side
+                # mutation is its own entry's reuse/lru, and of the
+                # classification inputs only the S-state replication
+                # threshold reads reuse — so the L2 half applies only
+                # to those reuse-sensitive victims, letting e.g. two
+                # reads of one block's halves commit in one window.
+                n_rows = slot.shape[0]
+                keys = np.concatenate(
+                    (
+                        slot * l1_sets + sets,
+                        (c_slot * l2_sets + l2set_c) * l2_ways
+                        + l2way_c + key2_off,
+                    )
+                )
+                poison = np.concatenate((fastl2, fast_c))
+                poisoned = _poisoned_later(keys, poison)
+                conflict = poisoned[:n_rows]
+                sens_c = fast_c & (state == _S_CODE) & ~(
+                    self._l2_no_cr[es_c] | near_c
+                )
+                conflict[c_rows] |= poisoned[n_rows:] & sens_c
+                ok = committable & ~conflict
+            else:
+                committable = pure
+                ok = pure
+            # First non-committable event per lane bounds its commit run.
+            bad = np.where(ok, window, within)
             if full:
                 n_commit = np.minimum.reduceat(bad, full_starts)
                 commit = full_within < n_commit[full_rep]
             else:
                 n_commit = np.minimum(np.minimum.reduceat(bad, starts), counts)
                 commit = within < n_commit[rep]
-            if commit.all():
-                cs, cset, cway, cwrite, cev = slot, sets, way, is_write, ev
+            if fastl2 is None:
+                # Pure-hit-only window: commit_hits handles stamps and
+                # the clock internally — the original cheap path.
+                if commit.all():
+                    cs, cset, cway, cwrite, cev = slot, sets, way, is_write, ev
+                else:
+                    cs = slot[commit]
+                    cset = sets[commit]
+                    cway = way[commit]
+                    cwrite = is_write[commit]
+                    cev = ev[commit]
+                if cs.size:
+                    pool.commit_hits(cs, cset, cway, cwrite)
+                    self.pure_commits += int(cs.size)
+                    # Sums of small per-event weights: exact in the
+                    # float64 accumulator bincount uses internally.
+                    instructions += np.bincount(
+                        cs, weights=instr_w[cev], minlength=num_slots
+                    ).astype(np.int64)
+                    cycles += np.bincount(
+                        cs, weights=cycle_w[cev], minlength=num_slots
+                    ).astype(np.int64)
             else:
-                cs = slot[commit]
-                cset = sets[commit]
-                cway = way[commit]
-                cwrite = is_write[commit]
-                cev = ev[commit]
-            if cs.size:
-                pool.commit_hits(cs, cset, cway, cwrite)
-                # Sums of small per-event weights: exact in the float64
-                # accumulator bincount uses internally.
-                instructions += np.bincount(
-                    cs, weights=instr_w[cev], minlength=num_slots
-                ).astype(np.int64)
-                cycles += np.bincount(
-                    cs, weights=cycle_w[cev], minlength=num_slots
-                ).astype(np.int64)
+                c_idx = np.nonzero(commit)[0]
+                if c_idx.size:
+                    cs = slot[c_idx]
+                    n = cs.size
+                    # Per-slot occurrence rank over ALL committed events
+                    # (classes 1–3 all tick the slot's L1 LRU clock), so
+                    # every stamp is the exact scalar clock value.
+                    order = np.argsort(cs, kind="stable")
+                    sorted_slots = cs[order]
+                    boundaries = np.empty(n, dtype=bool)
+                    boundaries[0] = True
+                    np.not_equal(
+                        sorted_slots[1:], sorted_slots[:-1], out=boundaries[1:]
+                    )
+                    index = np.arange(n)
+                    run_starts = index[boundaries]
+                    rank = index - np.repeat(
+                        run_starts, np.diff(np.append(run_starts, n))
+                    )
+                    stamps = np.empty(n, dtype=np.int64)
+                    stamps[order] = pool.clock[sorted_slots] + rank + 1
+                    cev = ev[c_idx]
+                    cyc_weights = cycle_w[cev].astype(np.float64)
+                    pmask = pure[c_idx]
+                    pool.commit_hits_stamped(
+                        cs[pmask],
+                        sets[c_idx][pmask],
+                        way[c_idx][pmask],
+                        is_write[c_idx][pmask],
+                        stamps[pmask],
+                    )
+                    fmask = ~pmask
+                    if fmask.any():
+                        # Map committed fast rows back into the
+                        # candidate-compressed classification arrays.
+                        pos_in_c = np.empty(slot.shape[0], dtype=np.int64)
+                        pos_in_c[c_rows] = np.arange(c_rows.size)
+                        ci = pos_in_c[c_idx[fmask]]
+                        cyc_weights[fmask] += self._commit_fast_l2(
+                            ci,
+                            cs[fmask],
+                            stamps[fmask],
+                            addr,
+                            es_c,
+                            l2set_c,
+                            l2way_c,
+                            dgroup_c,
+                            near_c,
+                        )
+                        self.pure_commits += n - int(fmask.sum())
+                    else:
+                        self.pure_commits += n
+                    instructions += np.bincount(
+                        cs, weights=instr_w[cev], minlength=num_slots
+                    ).astype(np.int64)
+                    cycles += np.bincount(
+                        cs, weights=cyc_weights, minlength=num_slots
+                    ).astype(np.int64)
+                    pool.clock += np.bincount(cs, minlength=num_slots)
             if full:
                 pos += n_commit
-                fallback_lanes = np.nonzero(n_commit < window)[0]
+                pending = np.nonzero(n_commit < window)[0]
             else:
                 pos[active] += n_commit
-                fallback_lanes = active[n_commit < counts]
-            for lane_index in fallback_lanes.tolist():
-                self._fallback(tape, lane_index, int(pos[lane_index]))
-                pos[lane_index] += 1
+                pending = np.nonzero(n_commit < counts)[0]
+            if pending.size:
+                # Per-lane index of the first committable event at or
+                # past the commit boundary, in one reduction: it bounds
+                # each pending lane's scalar residue run.
+                if full:
+                    after = committable & (full_within >= n_commit[full_rep])
+                    first_next = np.minimum.reduceat(
+                        np.where(after, full_within, window), full_starts
+                    )
+                else:
+                    after = committable & (within >= n_commit[rep])
+                    first_next = np.minimum.reduceat(
+                        np.where(after, within, window), starts
+                    )
+                nc_list = n_commit.tolist()
+                fn_list = first_next.tolist()
+                for p in pending.tolist():
+                    offset = nc_list[p]
+                    boundary = fn_list[p]
+                    if boundary == offset:
+                        # Conflict-truncated: the boundary event is
+                        # (stale-)classified committable; reprobe it
+                        # against refreshed state next pass.
+                        continue
+                    if full:
+                        lane_index = p
+                        seg_count = window
+                    else:
+                        lane_index = int(active[p])
+                        seg_count = int(counts[p])
+                    run = min(boundary, seg_count) - offset
+                    self._run_scalar(tape, lane_index, int(pos[lane_index]), run)
+                    pos[lane_index] += run
 
-    def _fallback(self, tape: EventTape, lane_index: int, i: int) -> None:
-        """Run one L2-reaching event exactly as ``CmpSystem`` would."""
+    def _commit_fast_l2(
+        self,
+        rows: "NDArray",
+        f_slots: "NDArray",
+        f_stamps: "NDArray",
+        addr_c: "NDArray",
+        es_c: "NDArray",
+        l2set_c: "NDArray",
+        l2way_c: "NDArray",
+        dgroup_c: "NDArray",
+        near_c: "NDArray",
+    ) -> "NDArray":
+        """Commit a window's fast L2 hits (classes 2 and 3) in order.
+
+        ``rows`` index the candidate-compressed classification arrays
+        (``es_c``/``l2set_c``/``l2way_c``/``dgroup_c``/``near_c``/
+        ``addr_c``); ``f_slots``/``f_stamps`` are already gathered.
+        Per event this mirrors the scalar sequence for a read that
+        misses the L1 and hits its own tag array with no coherence
+        action: the L2 lookup's LRU touch and reuse bump, the crossbar
+        traffic count, the d-group hit record, the HIT count, the L1
+        miss count, the L1 fill (``writable=False``) at the event's
+        ranked stamp, and the peer writable-revoke sweep.  Returns the
+        per-event stall (the access latency) for the caller's timing
+        bincount.  Small batches (the common shape under the window
+        gate) fold the statistics into the per-event loop; large
+        batches — L2-hit-heavy workloads — aggregate them vectorized.
+        """
+        pool = self.pool
+        l2 = self.l2
+        num_slots = pool.num_slots
+        num_cores = self.num_cores
+        f_es = es_c[rows]
+        f_set = l2set_c[rows]
+        f_way = l2way_c[rows]
+        f_dg = dgroup_c[rows]
+        stall = self._l2_stall[f_es, f_dg]
+        # Design-side per-entry updates, in event order per core (the
+        # only L2 clock ticks during a vectorized commit, so applying
+        # them here in row order is exact).
+        lanes = self.lanes
+        slots_list = f_slots.tolist()
+        n = len(slots_list)
+        set_list = f_set.tolist()
+        way_list = f_way.tolist()
+        small = n < 32
+        if small:
+            addr_list = addr_c[rows].tolist()
+            stamp_list = f_stamps.tolist()
+            fill_read = pool.fill_read_stamped
+            revoke = pool.revoke_writable
+            peers = self._peers
+            es_list = f_es.tolist()
+            dg_list = f_dg.tolist()
+            near_list = near_c[rows].tolist()
+            load_misses = pool.load_misses
+            l2_reuse = l2.reuse
+        for k in range(n):
+            slot = slots_list[k]
+            lane = lanes[slot // num_cores]
+            core = slot - lane.slot_base
+            design = lane.design
+            tag_array = design.tags[core].array
+            set_index = set_list[k]
+            way_index = way_list[k]
+            entry = tag_array._sets[set_index][way_index]
+            entry.reuse += 1
+            tag_array._clock += 1
+            entry.lru = tag_array._clock
+            if small:
+                address = addr_list[k]
+                fill_read(slot, address, stamp_list[k])
+                base = lane.slot_base
+                for other in peers[core]:
+                    revoke(base + other, address)
+                l2_reuse[es_list[k], set_index, way_index] += 1
+                load_misses[slot] += 1
+                design.stats.counts[_HIT] += 1
+                dgroups = design.dgroup_stats
+                if near_list[k]:
+                    dgroups.closest_hits += 1
+                else:
+                    dgroups.farther_hits += 1
+                design.crossbar.traffic[(core, dg_list[k])] += 1
+        if not small:
+            f_addr = addr_c[rows]
+            # The L1 side in bulk: the window's fills are unique per
+            # (slot, set) — conflict truncation guarantees it — and the
+            # peer revoke sweep is idempotent, so batching both after
+            # the ordered design-entry updates is exact.
+            pool.fill_read_batch(f_slots, f_addr, f_stamps)
+            lane_base = (f_slots // num_cores) * num_cores
+            for core in range(num_cores):
+                ps = lane_base + core
+                m = ps != f_slots
+                if m.any():
+                    pool.revoke_writable_batch(ps[m], f_addr[m])
+            f_near = near_c[rows]
+            # Mirror reuse keeps classification exact for future windows.
+            np.add.at(l2.reuse, (f_es, f_set, f_way), 1)
+            # Aggregated statistics, per lane.
+            counts = np.bincount(f_slots, minlength=num_slots)
+            pool.load_misses += counts
+            near_counts = np.bincount(f_slots[f_near], minlength=num_slots)
+            lane_totals = counts.reshape(-1, num_cores).sum(axis=1)
+            near_totals = near_counts.reshape(-1, num_cores).sum(axis=1)
+            for lane_index in np.nonzero(lane_totals)[0].tolist():
+                design = lanes[lane_index].design
+                total = int(lane_totals[lane_index])
+                design.stats.counts[_HIT] += total
+                dgroups = design.dgroup_stats
+                near_total = int(near_totals[lane_index])
+                dgroups.closest_hits += near_total
+                dgroups.farther_hits += total - near_total
+            # Crossbar traffic per (core, d-group) link.
+            num_dgroups = l2.num_dgroups
+            combo, combo_counts = np.unique(
+                f_es * num_dgroups + f_dg, return_counts=True
+            )
+            fast_designs = self._fast_designs
+            for key, count in zip(combo.tolist(), combo_counts.tolist()):
+                eslot, group = divmod(key, num_dgroups)
+                row, core = divmod(eslot, num_cores)
+                fast_designs[row].crossbar.traffic[(core, group)] += count
+        self.fast_l2_commits += n
+        return stall
+
+    def _run_scalar(
+        self, tape: EventTape, lane_index: int, start: int, count: int
+    ) -> None:
+        """Run ``count`` consecutive events of one lane on the scalar path.
+
+        Exactly the per-event sequence ``CmpSystem`` runs — queue
+        drain, L1 probe, ``design.access`` with the lane's virtual
+        clock, fill and peer invalidate/downgrade — but batched: the
+        lane's per-core instruction and cycle counters are hoisted into
+        plain python ints for the whole run and written back once,
+        instead of paying numpy scalar extraction per event.  After the
+        run, the L2 mirror is re-synced from the design's dirty-address
+        marks.
+        """
         lane = self.lanes[lane_index]
+        design = lane.design
         pool = self.pool
         base = lane.slot_base
-        cycles = self.cycles
-        instructions = self.instructions
+        num_cores = self.num_cores
         lat = self.l1_latency
+        blocking = self._blocking_stores
         queue = lane.queue
-        if queue is not None and queue.pending:
-            queue.run_until(int(cycles[base : base + self.num_cores].max()))
-        core = tape.core_raw[i]
-        slot = base + core
-        gap = tape.gap_raw[i]
-        colocated = tape.colocated_raw[i]
-        # The core's clock after the pre-access instruction context;
-        # timing is written back in one coalesced update at the end.
-        now = int(cycles[slot]) + gap + colocated * lat
-        address = tape.address_raw[i]
-        if tape.write_raw[i]:
-            if pool.store(slot, address):
+        cyc = self.cycles[base : base + num_cores].tolist()
+        ins = self.instructions[base : base + num_cores].tolist()
+        core_raw = tape.core_raw
+        address_raw = tape.address_raw
+        write_raw = tape.write_raw
+        sharing_raw = tape.sharing_raw
+        gap_raw = tape.gap_raw
+        colocated_raw = tape.colocated_raw
+        access_design = design.access
+        load = pool.load
+        store = pool.store
+        fill = pool.fill
+        invalidate = pool.invalidate
+        revoke = pool.revoke_writable
+        peers = self._peers
+        row = self._fast_row[lane_index]
+        probing = row >= 0 and design.dirty_set is None
+        n_hit = 0
+        fast_est = 0
+        for i in range(start, start + count):
+            if queue is not None and queue.pending:
+                queue.run_until(max(cyc))
+            core = core_raw[i]
+            slot = base + core
+            gap = gap_raw[i]
+            colocated = colocated_raw[i]
+            # The core's clock after the pre-access instruction context.
+            now = cyc[core] + gap + colocated * lat
+            address = address_raw[i]
+            if write_raw[i]:
+                if store(slot, address):
+                    stall = 0
+                else:
+                    access = Access(
+                        core, address, AccessType.WRITE, _SHARING[sharing_raw[i]]
+                    )
+                    result = access_design(access, now=now)
+                    fill(
+                        slot, address,
+                        writable=not result.write_through, dirty=True,
+                    )
+                    for other in peers[core]:
+                        invalidate(base + other, address)
+                    stall = result.latency if blocking else 0
+            elif load(slot, address):
                 stall = 0
             else:
                 access = Access(
-                    core, address, AccessType.WRITE, _SHARING[tape.sharing_raw[i]]
+                    core, address, AccessType.READ, _SHARING[sharing_raw[i]]
                 )
-                result = lane.design.access(access, now=now)
-                pool.fill(slot, address, writable=not result.write_through, dirty=True)
-                for other in self._peers[core]:
-                    pool.invalidate(base + other, address)
-                stall = result.latency if self._blocking_stores else 0
-        elif pool.load(slot, address):
-            stall = 0
-        else:
-            access = Access(
-                core, address, AccessType.READ, _SHARING[tape.sharing_raw[i]]
+                result = access_design(access, now=now)
+                if probing and result.miss_class is _HIT:
+                    n_hit += 1
+                    if not (n_hit & 15):
+                        fast_est += self._probe_fast(row, core, address)
+                fill(slot, address, writable=False)
+                for other in peers[core]:
+                    revoke(base + other, address)
+                stall = result.latency
+            ins[core] += gap + colocated + 1
+            cyc[core] = now + lat + stall
+        self.cycles[base : base + num_cores] = cyc
+        self.instructions[base : base + num_cores] = ins
+        self.scalar_events += count
+        if row >= 0:
+            self._l2_events[row] += count
+            if probing:
+                # Scale the 1-in-16 sample back to a convertible-hit
+                # estimate for the wake decision.
+                self._l2_hits[row] += fast_est << 4
+            dirty = design.dirty_set
+            if dirty is not None:  # awake: keep the mirror conservative
+                l2 = self.l2
+                if dirty.full:
+                    l2.refresh_lane(row, design)
+                    self._l2_pending[row].clear()
+                elif dirty.addresses:
+                    shift = l2.offset_bits
+                    mask = l2.index_mask
+                    touched = {(a >> shift) & mask for a in dirty.addresses}
+                    # Conservative: an invalid mirror row classifies as
+                    # an L2 miss, which routes the event back to this
+                    # scalar path — always correct, just not fast.  The
+                    # re-read that restores classification power waits
+                    # for the next epoch boundary (see _epoch_refresh).
+                    l2.invalidate_sets(row, touched)
+                    self._l2_pending[row] |= touched
+                dirty.clear()
+
+    def _probe_fast(self, row: int, core: int, address: int) -> bool:
+        """Would this (just-accessed) resident block classify fast?
+
+        Sleeping lanes sample their residue's L2 read hits through the
+        class-2/3 conditions to estimate how much of the traffic the
+        fast tier could convert — the wake signal in _epoch_refresh.
+        The post-access entry state is read without touching LRU, so
+        this is a pure observation.
+        """
+        design = self._fast_designs[row]
+        entry = design.tags[core].lookup(address, touch=False)
+        if entry is None or entry.fwd is None:
+            return False
+        es = row * self.num_cores + core
+        near = entry.fwd.dgroup == self._l2_closest_l[es]
+        state = entry.state
+        if state is CoherenceState.MODIFIED or state is CoherenceState.EXCLUSIVE:
+            return near
+        if state is CoherenceState.SHARED:
+            return (
+                self._l2_no_cr_l[es]
+                or near
+                or entry.reuse + 2 < self._l2_rep_need_l[es]
             )
-            result = lane.design.access(access, now=now)
-            pool.fill(slot, address, writable=False)
-            for other in self._peers[core]:
-                pool.revoke_writable(base + other, address)
-            stall = result.latency
-        instructions[slot] += gap + colocated + 1
-        cycles[slot] = now + lat + stall
+        return (
+            state is CoherenceState.COMMUNICATION and self._l2_cmig_ok_l[es]
+        )
+
+    def _epoch_refresh(self) -> None:
+        """Epoch boundary: adapt each fast lane to its residue rate.
+
+        A *loud* awake lane (heavy scalar residue) is put to sleep: its
+        cores leave the candidate mask and its dirty-set is detached,
+        so residues stop paying any mirror tax — re-validated rows
+        would only be re-invalidated.  A calm awake lane gets its small
+        pending set re-read, restoring classification power.  A
+        sleeping lane wakes — with one full lane re-read, since its
+        mirror went stale untracked — when its residue's L2 read hits
+        show enough convertible traffic to pay for the re-read.
+        """
+        from repro.common.dirty import DirtySet
+
+        num_cores = self.num_cores
+        for row, design in enumerate(self._fast_designs):
+            loud = self._l2_events[row] >= _CALM_EVENTS
+            hits = self._l2_hits[row]
+            self._l2_events[row] = 0
+            self._l2_hits[row] = 0
+            base = self._l2_slot_base[row]
+            if self._l2_awake[row]:
+                if loud:
+                    self._l2_awake[row] = False
+                    self._l2_n_awake -= 1
+                    self._l2_wake_bar[row] = min(
+                        self._l2_wake_bar[row] * 2, 1 << 20
+                    )
+                    self._fast_ok[base : base + num_cores] = False
+                    self._l2_pending[row].clear()
+                    design.dirty_set = None
+                else:
+                    pending = self._l2_pending[row]
+                    if pending:
+                        self.l2.refresh_sets(row, design, pending)
+                        pending.clear()
+            elif hits >= self._l2_wake_bar[row]:
+                self.l2.refresh_lane(row, design)
+                self._l2_awake[row] = True
+                self._l2_n_awake += 1
+                self._fast_ok[base : base + num_cores] = True
+                design.dirty_set = DirtySet()
 
     def lane_stats(self, index: int) -> SimulationStats:
         """Assemble one lane's stats exactly as ``CmpSystem.stats`` does."""
@@ -456,6 +1127,7 @@ def run_batch(
 
     config = config or ExperimentConfig()
     default_bus = resolve_bus_model(bus_model)
+    supported = " and ".join(BATCH_BUS_MODELS)
     groups: "dict[tuple[str, bool], list[tuple[str, str]]]" = {}
     for cell in cells:
         workload, design, multiprogrammed, cell_bus = _normalize_cell(cell)
@@ -463,16 +1135,26 @@ def run_batch(
             cell_bus = default_bus
         else:
             cell_bus = resolve_bus_model(cell_bus)
-        if cell_bus == "mesh":
-            raise ValueError(
-                "the batch kernel supports the atomic and eventq bus "
-                "models only; the mesh NoC's split-phase directory "
-                "transactions need the scalar engine"
+        if cell_bus not in BATCH_BUS_MODELS:
+            detail = (
+                "the mesh NoC's split-phase directory transactions need "
+                "the scalar engine"
+                if cell_bus == "mesh"
+                else "this backend needs the scalar engine"
             )
-        if getattr(cell, "num_cores", 0):
             raise ValueError(
-                "the batch kernel models the paper's 4-core machine "
-                "only; scaled cells need the scalar engine"
+                f"cell ({workload}, {design}) requests bus model "
+                f"{cell_bus!r}, but the batch kernel supports only the "
+                f"{supported} bus models; {detail} "
+                "(rerun with --engine scalar)"
+            )
+        cell_cores = getattr(cell, "num_cores", 0)
+        if cell_cores:
+            raise ValueError(
+                f"cell ({workload}, {design}) requests "
+                f"num_cores={cell_cores}, but the batch kernel models "
+                "the paper's 4-core machine only; scaled cells need the "
+                "scalar engine (rerun with --engine scalar)"
             )
         lanes = groups.setdefault((workload, multiprogrammed), [])
         if (design, cell_bus) not in lanes:

@@ -41,15 +41,26 @@ CELLS = (
     ("MIX3", "cmp-nurapid", True, "eventq"),
 )
 
+#: warmup=0 lanes: the L2 fast tier's cold-start trajectory (mirror
+#: enrolls, goes loud on the all-miss prefix, sleeps, and may re-wake)
+#: is behaviour worth pinning across builds too.
+COLD_CELLS = (
+    ("oltp", "cmp-nurapid", False, "atomic"),
+    ("apache", "cmp-nurapid-cs", False, "atomic"),
+    ("ocean", "cmp-nurapid-cr", False, "eventq"),
+    ("MIX2", "cmp-nurapid-isc", True, "atomic"),
+)
+
 SEEDS = (42, 7)
 
 ACCESSES = 600
 WARMUP = 300
 
 
-def cell_key(workload, design, multiprogrammed, bus_model, seed):
+def cell_key(workload, design, multiprogrammed, bus_model, seed, cold=False):
     kind = "mix" if multiprogrammed else "mt"
-    return f"{workload}/{design}/{kind}/{bus_model}/seed={seed}"
+    key = f"{workload}/{design}/{kind}/{bus_model}/seed={seed}"
+    return key + "/cold" if cold else key
 
 
 def main() -> None:
@@ -61,6 +72,14 @@ def main() -> None:
         results = run_batch(list(CELLS), config)
         for (workload, design, mp, bus), stats in sorted(results.items()):
             expected[cell_key(workload, design, mp, bus, seed)] = (
+                stats.fingerprint()
+            )
+        cold_config = ExperimentConfig(
+            warmup_per_core=0, measure_per_core=ACCESSES, seed=seed
+        )
+        results = run_batch(list(COLD_CELLS), cold_config)
+        for (workload, design, mp, bus), stats in sorted(results.items()):
+            expected[cell_key(workload, design, mp, bus, seed, cold=True)] = (
                 stats.fingerprint()
             )
     out = HERE / "expected.json"

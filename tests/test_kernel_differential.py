@@ -16,14 +16,18 @@ accesses/core) so the whole suite stays CI-cheap.
 
 import pytest
 
+from repro.common.params import SystemParams
+from repro.common.types import Access, AccessType, SharingClass
+from repro.cpu.system import TimedAccess
 from repro.experiments.runner import (
     DESIGN_FACTORIES,
     ExperimentConfig,
     build_design,
+    run_design_on_events,
     run_mix,
     run_multithreaded,
 )
-from repro.kernel import BATCH_BUS_MODELS, run_batch
+from repro.kernel import BATCH_BUS_MODELS, BatchKernel, EventTape, run_batch
 from repro.workloads.multiprogrammed import MIXES
 from repro.workloads.multithreaded import MULTITHREADED
 
@@ -178,6 +182,76 @@ def test_batch_refuses_scaled_cells():
     with pytest.raises(ValueError, match="4-core"):
         run_batch([Cell("oltp", "private", False, 16)], config,
                   bus_model="atomic")
+
+
+def test_cold_start_grid_identical():
+    """warmup=0 across every design and both buses, in one batch.
+
+    Cold caches are where the L2 fast tier's sleep/wake policy sees
+    nothing but misses: the mirror enrolls, immediately goes loud, and
+    must sleep without ever committing a stale classification.
+    """
+    config = config_for(accesses=600, warmup=0)
+    cells = [
+        ("oltp", design, False, bus)
+        for design in ALL_DESIGNS
+        for bus in BATCH_BUS_MODELS
+    ]
+    got = batch_fingerprints(cells, config)
+    for design in ALL_DESIGNS:
+        for bus in BATCH_BUS_MODELS:
+            want = scalar_fingerprint("oltp", design, bus, config)
+            assert got[("oltp", design, False, bus)] == want, (
+                f"{design}/{bus} diverged on a cold start"
+            )
+
+
+def _l2_hit_heavy_stream(num_cores=4, per_core=4000, region_blocks=1536):
+    """Per-core private cyclic streams sized to thrash L1 but live in L2.
+
+    region_blocks * 64B = 96 KB per core: 1.5x the 64 KB L1, so after
+    the first pass almost every access is an L1 miss that hits its own
+    core's L2 copy in M/E — the fast tier's class-2 bread and butter.
+    """
+    for i in range(per_core):
+        for core in range(num_cores):
+            address = (core << 24) | ((i % region_blocks) * 64)
+            yield TimedAccess(
+                Access(core, address, AccessType.READ, SharingClass.PRIVATE),
+                gap=2,
+                colocated=1,
+            )
+
+
+def test_l2_hit_heavy_engages_fast_tier_and_matches():
+    """A stream of private L2 read hits drives the fast L2 commit path.
+
+    The vacuity guard matters as much as the fingerprints: the sampled
+    convertible-hit wake must fire (the mirror sleeps during the cold
+    first pass), the class-2 vector path must actually commit events,
+    and the result must still be bit-identical to scalar — on an atomic
+    lane, a CR lane, and an eventq lane (which is batch-eligible but
+    never fast-tier-eligible) sharing one tape.
+    """
+    names = [
+        ("cmp-nurapid", "atomic"),
+        ("cmp-nurapid-cr", "atomic"),
+        ("cmp-nurapid-isc", "eventq"),
+    ]
+    params = SystemParams()
+    tape = EventTape.from_events(_l2_hit_heavy_stream(), params.l1)
+    designs = [build_design(n, bus_model=b) for n, b in names]
+    kernel = BatchKernel(designs, params)
+    kernel.run(tape, 0)
+    assert kernel.fast_l2_commits > 0, (
+        "the L2 fast tier never engaged on an L2-hit-heavy stream"
+    )
+    for index, (name, bus) in enumerate(names):
+        fresh = build_design(name, bus_model=bus)
+        _, stats = run_design_on_events(fresh, _l2_hit_heavy_stream(), 0)
+        assert kernel.lane_stats(index).fingerprint() == stats.fingerprint(), (
+            f"{name}/{bus} diverged on the L2-hit-heavy stream"
+        )
 
 
 def test_warmup_reset_boundary_identical():

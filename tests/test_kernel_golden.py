@@ -17,7 +17,14 @@ import pytest
 
 from repro.experiments.runner import ExperimentConfig
 from repro.kernel import run_batch
-from tests.data.kernel.generate import ACCESSES, CELLS, SEEDS, WARMUP, cell_key
+from tests.data.kernel.generate import (
+    ACCESSES,
+    CELLS,
+    COLD_CELLS,
+    SEEDS,
+    WARMUP,
+    cell_key,
+)
 
 DATA = Path(__file__).resolve().parent / "data" / "kernel"
 EXPECTED = json.loads((DATA / "expected.json").read_text())
@@ -28,6 +35,10 @@ def test_corpus_is_complete():
     assert EXPECTED, "expected.json is empty — regenerate the corpus"
     want = {
         cell_key(*cell, seed) for cell in CELLS for seed in SEEDS
+    } | {
+        cell_key(*cell, seed, cold=True)
+        for cell in COLD_CELLS
+        for seed in SEEDS
     }
     assert set(EXPECTED) == want
 
@@ -42,6 +53,22 @@ def test_batch_grid_matches_golden_fingerprints(seed):
     mismatches = []
     for (workload, design, mp, bus), stats in results.items():
         key = cell_key(workload, design, mp, bus, seed)
+        if stats.fingerprint() != EXPECTED[key]:
+            mismatches.append(key)
+    assert not mismatches, f"fingerprint drift in: {', '.join(mismatches)}"
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_cold_grid_matches_golden_fingerprints(seed):
+    """warmup=0 cells: the fast tier's cold-start path, pinned."""
+    config = ExperimentConfig(
+        warmup_per_core=0, measure_per_core=ACCESSES, seed=seed
+    )
+    results = run_batch(list(COLD_CELLS), config)
+    assert len(results) == len(COLD_CELLS)
+    mismatches = []
+    for (workload, design, mp, bus), stats in results.items():
+        key = cell_key(workload, design, mp, bus, seed, cold=True)
         if stats.fingerprint() != EXPECTED[key]:
             mismatches.append(key)
     assert not mismatches, f"fingerprint drift in: {', '.join(mismatches)}"

@@ -256,3 +256,140 @@ def test_write_back_rejects_wrong_arity():
     pool = L1Pool(2, SMALL)
     with pytest.raises(ValueError):
         pool.write_back([small_l1()])
+
+
+# ---------------------------------------------------------------------------
+# EventTape edge cases: the windowed engine at its boundaries.
+#
+# The engine consumes tapes in WINDOW-sized speculative slices; the
+# interesting lengths are the degenerate ones — no events at all, a
+# single event (window of one), a tape that is exactly one window, and
+# a ragged tape whose final window is only partially filled.  All four
+# must stay bit-identical to the scalar engine for every lane in a
+# mixed batch.
+
+
+def _tape_edge_designs():
+    from repro.experiments.runner import build_design
+
+    return [
+        ("private", "atomic"),
+        ("cmp-nurapid", "atomic"),
+        ("cmp-nurapid-cr", "eventq"),
+    ], build_design
+
+
+def _edge_stream(n, num_cores=4):
+    """A deterministic n-event mix of aliasing reads and writes."""
+    from repro.common.types import Access, AccessType, SharingClass
+    from repro.cpu.system import TimedAccess
+
+    for i in range(n):
+        core = i % num_cores
+        shared = i % 3 == 0
+        base = 0x40000 if shared else (core + 1) << 20
+        address = base + (i % 7) * 64
+        kind = AccessType.WRITE if i % 5 == 2 else AccessType.READ
+        sharing = (
+            SharingClass.READ_WRITE_SHARED if shared else SharingClass.PRIVATE
+        )
+        yield TimedAccess(Access(core, address, kind, sharing),
+                          gap=i % 4, colocated=i % 2)
+
+
+@pytest.mark.parametrize(
+    "length",
+    [0, 1, 24, 53],
+    ids=["empty", "single", "exactly-one-window", "ragged-mid-window"],
+)
+def test_event_tape_edge_lengths_identical(length):
+    from repro.common.params import SystemParams
+    from repro.experiments.runner import run_design_on_events
+    from repro.kernel import BatchKernel, EventTape
+    from repro.kernel.engine import WINDOW
+
+    assert 24 == WINDOW  # the ids above encode the window size
+    names, build_design = _tape_edge_designs()
+    params = SystemParams()
+    tape = EventTape.from_events(_edge_stream(length), params.l1)
+    assert tape.n == length
+    designs = [build_design(n, bus_model=b) for n, b in names]
+    kernel = BatchKernel(designs, params)
+    kernel.run(tape, 0)
+    for index, (name, bus) in enumerate(names):
+        fresh = build_design(name, bus_model=bus)
+        _, stats = run_design_on_events(fresh, _edge_stream(length), 0)
+        assert kernel.lane_stats(index).fingerprint() == stats.fingerprint(), (
+            f"{name}/{bus} diverged on a {length}-event tape"
+        )
+
+
+def test_event_tape_warmup_beyond_tape_identical():
+    """warmup_events past the end of the tape: both engines measure
+    nothing and agree on the (all-zero) statistics."""
+    from repro.common.params import SystemParams
+    from repro.experiments.runner import run_design_on_events
+    from repro.kernel import BatchKernel, EventTape
+
+    names, build_design = _tape_edge_designs()
+    params = SystemParams()
+    tape = EventTape.from_events(_edge_stream(10), params.l1)
+    designs = [build_design(n, bus_model=b) for n, b in names]
+    kernel = BatchKernel(designs, params)
+    kernel.run(tape, 10)
+    for index, (name, bus) in enumerate(names):
+        fresh = build_design(name, bus_model=bus)
+        _, stats = run_design_on_events(fresh, _edge_stream(10), 10)
+        assert kernel.lane_stats(index).fingerprint() == stats.fingerprint()
+
+
+# ---------------------------------------------------------------------------
+# L2Pool round trip: the NuRAPID mirror is lossless.
+
+
+def test_l2_pool_from_designs_write_back_round_trip():
+    """from_designs -> write_back restores tag arrays and data arrays
+    bit for bit after real traffic has mutated every field."""
+    from repro.experiments.runner import build_design, run_design_on_events
+    from repro.kernel import L2Pool
+    from repro.workloads.multithreaded import make_workload
+
+    names = ("cmp-nurapid", "cmp-nurapid-cr")
+    designs = [build_design(name) for name in names]
+    for design in designs:
+        events = make_workload("oltp", seed=7).events(accesses_per_core=300)
+        run_design_on_events(design, events, 0)
+
+    def plain(value):
+        # state_dicts pack entry columns as numpy arrays; make the
+        # whole tree plain-python so == compares values, not identity.
+        if isinstance(value, np.ndarray):
+            return value.tolist()
+        if isinstance(value, dict):
+            return {k: plain(v) for k, v in value.items()}
+        if isinstance(value, (list, tuple)):
+            return [plain(v) for v in value]
+        return value
+
+    def snapshot(design):
+        return plain((
+            [tags.state_dict() for tags in design.tags],
+            design.data.state_dict(),
+        ))
+
+    want = [snapshot(design) for design in designs]
+    pool = L2Pool.from_designs(designs)
+    fresh = [build_design(name) for name in names]
+    pool.write_back(fresh)
+    assert [snapshot(design) for design in fresh] == want
+
+
+def test_l2_pool_rejects_empty_and_wrong_arity():
+    from repro.experiments.runner import build_design
+    from repro.kernel import L2Pool
+
+    with pytest.raises(ValueError):
+        L2Pool.from_designs([])
+    pool = L2Pool.from_designs([build_design("cmp-nurapid")])
+    with pytest.raises(ValueError):
+        pool.write_back([build_design("cmp-nurapid")] * 2)
